@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see DESIGN.md's
+per-experiment index) and *prints* the resulting table, so that
+``pytest benchmarks/ --benchmark-only -s`` (or the captured ``bench_output.txt``)
+doubles as the data source for EXPERIMENTS.md.  pytest-benchmark then reports
+how long regenerating each artifact takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment harnesses are deterministic and some of them simulate
+    hundreds of thousands of shared-memory steps, so a single timed round is
+    the right trade-off between benchmark fidelity and total wall-clock time.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

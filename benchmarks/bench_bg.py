@@ -1,0 +1,87 @@
+"""E8 — the BG-simulation machinery of the impossibility proofs.
+
+Times the safe-agreement primitive under contention and a full BG-style
+simulation run, and re-checks the two properties the reduction needs:
+all simulators agree on the simulated run, and a crashed simulator blocks at
+most one simulated thread.
+"""
+
+import random
+
+from repro.bg.safe_agreement import SafeAgreement
+from repro.bg.simulation import full_information_agreement_protocol, make_bg_simulators
+from repro.core.schedule import Schedule
+from repro.runtime.automaton import FunctionAutomaton
+from repro.runtime.simulator import Simulator
+
+from _bench_utils import once
+
+
+def run_safe_agreement_round(n, seed):
+    obj = SafeAgreement(name=("bench", seed), n=n)
+    outcomes = {}
+
+    def factory(pid):
+        def program(automaton, ctx):
+            yield from obj.propose(automaton.pid, automaton.pid)
+            outcomes[automaton.pid] = yield from obj.resolve(automaton.pid)
+        return program
+
+    automata = {pid: FunctionAutomaton(pid=pid, n=n, function=factory(pid)) for pid in range(1, n + 1)}
+    simulator = Simulator(n=n, automata=automata)
+    rng = random.Random(seed)
+    steps = tuple(rng.randint(1, n) for _ in range(60 * n))
+    simulator.run(Schedule(steps=steps, n=n))
+    return outcomes
+
+
+def test_e8_safe_agreement_contended(benchmark):
+    def run_many():
+        distinct = set()
+        for seed in range(30):
+            outcomes = run_safe_agreement_round(4, seed)
+            assert len(set(outcomes.values())) <= 1
+            distinct.update(outcomes.values())
+        return distinct
+
+    values = once(benchmark, run_many)
+    print()
+    print(f"E8 — 30 contended safe-agreement instances, decisions drawn from {sorted(values)}")
+
+
+def run_bg(simulators, threads, crash_one):
+    protocol = full_information_agreement_protocol(threads=threads)
+    inputs = {pid: pid * 10 for pid in range(1, simulators + 1)}
+    automata = make_bg_simulators(simulators, protocol, inputs, namespace=("bgbench", crash_one))
+    simulator = Simulator(n=simulators, automata=automata)
+    if crash_one:
+        steps = (simulators,) + tuple(
+            1 + (index % (simulators - 1)) for index in range(120_000)
+        )
+    else:
+        steps = tuple(1 + (index % simulators) for index in range(120_000))
+    simulator.run(Schedule(steps=steps, n=simulators))
+    return automata
+
+
+def test_e8_bg_simulation_failure_free(benchmark):
+    automata = once(benchmark, run_bg, 3, 6, False)
+    print()
+    decisions = [automaton.simulated_decisions() for automaton in automata.values()]
+    print(f"E8 — failure-free BG run: per-simulator decided threads {[len(d) for d in decisions]}")
+    for per_thread in zip(*(sorted(d.items()) for d in decisions)):
+        values = {value for _, value in per_thread}
+        assert len(values) == 1
+    assert all(len(d) == 6 for d in decisions)
+
+
+def test_e8_bg_simulation_with_crashed_simulator(benchmark):
+    automata = once(benchmark, run_bg, 3, 6, True)
+    print()
+    alive = {pid: automata[pid].simulated_decisions() for pid in (1, 2)}
+    print(
+        "E8 — BG run with simulator 3 crashed in an unsafe window: "
+        f"decided threads per live simulator {[sorted(d) for d in alive.values()]}"
+    )
+    for decided in alive.values():
+        assert len(decided) >= 6 - 1

@@ -1,0 +1,57 @@
+"""E9 — the IIS model comparison of Section 6 (related work).
+
+Times iterated-immediate-snapshot rounds and regenerates the "timely yet
+invisible" table behind the paper's remark about the IRIS models.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.core.timeliness import analyze_timeliness
+from repro.iis.iterated import IteratedImmediateSnapshotAutomaton, phase_shifted_round_schedule
+from repro.runtime.simulator import Simulator
+
+from _bench_utils import once
+
+N, ROUNDS, SHIFTED = 3, 4, 3
+
+
+def run_phase_shifted():
+    schedule = phase_shifted_round_schedule(n=N, rounds=ROUNDS, shifted=SHIFTED)
+    automata = {
+        pid: IteratedImmediateSnapshotAutomaton(pid=pid, n=N, rounds=ROUNDS, input_value=pid)
+        for pid in range(1, N + 1)
+    }
+    simulator = Simulator(n=N, automata=automata)
+    simulator.run(schedule)
+    return schedule, automata
+
+
+def test_e9_timely_but_invisible(benchmark):
+    schedule, automata = once(benchmark, run_phase_shifted)
+    witness = analyze_timeliness(schedule, {SHIFTED}, {1, 2})
+    print()
+    rows = []
+    for pid in range(1, N + 1):
+        views = automata[pid].views()
+        rows.append(
+            [
+                pid,
+                len(views),
+                all(SHIFTED in view for view in views) if pid == SHIFTED else any(SHIFTED in view for view in views),
+            ]
+        )
+    print(
+        ascii_table(
+            ["process", "rounds completed", f"ever sees process {SHIFTED}"],
+            rows,
+            title=(
+                f"E9 — IIS views under the phase-shifted schedule "
+                f"(process {SHIFTED} timeliness bound: {witness.minimal_bound})"
+            ),
+        )
+    )
+    # The shifted process is timely (constant bound) ...
+    assert witness.minimal_bound <= 2 * N * (N + 1) + 1
+    # ... yet invisible to everyone else in every round.
+    for pid in (1, 2):
+        assert all(SHIFTED not in view for view in automata[pid].views())
+    assert len(automata[SHIFTED].views()) == ROUNDS

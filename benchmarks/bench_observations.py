@@ -1,0 +1,81 @@
+"""E6 — Observations 2-7: the closure and monotonicity properties, swept exhaustively.
+
+The property-based tests exercise these with random instances; the benchmark
+sweeps them exhaustively over a small universe and times the sweep, acting as
+a deterministic regression harness for the core formalism.
+"""
+
+import itertools
+import random
+
+from repro.core.observations import (
+    observation_2,
+    observation_3,
+    observation_4,
+    observation_5,
+    observation_6,
+    observation_7,
+)
+from repro.core.schedule import Schedule
+from repro.types import AgreementInstance, SystemCoordinates
+
+from _bench_utils import once
+
+N = 4
+
+
+def random_schedules(count, length, seed):
+    rng = random.Random(seed)
+    return [
+        Schedule(steps=tuple(rng.randint(1, N) for _ in range(length)), n=N) for _ in range(count)
+    ]
+
+
+def nonempty_subsets():
+    processes = list(range(1, N + 1))
+    for size in range(1, N + 1):
+        for combo in itertools.combinations(processes, size):
+            yield frozenset(combo)
+
+
+def sweep():
+    schedules = random_schedules(count=6, length=80, seed=2009)
+    subsets = list(nonempty_subsets())
+    checks = 0
+
+    for schedule in schedules[:2]:
+        for p1, q1, p2, q2 in itertools.product(subsets[:7], repeat=4):
+            assert observation_2(schedule, p1, q1, p2, q2)
+            checks += 1
+    for schedule in schedules:
+        for p_set, q_set in itertools.product(subsets, repeat=2):
+            p_superset = p_set | frozenset({N})
+            q_subset = frozenset({min(q_set)})
+            assert observation_3(schedule, p_set, q_set, p_superset, q_subset)
+            checks += 1
+    for i, j, i2, j2 in itertools.product(range(1, N + 1), repeat=4):
+        assert observation_4(i, j, i2, j2, N)
+        checks += 1
+    for i in range(1, N + 1):
+        assert observation_5(i, N, schedules[0])
+        checks += 1
+    for t in range(1, N):
+        for k in range(1, N + 1):
+            problem = AgreementInstance(t=t, k=k, n=N)
+            for j in range(1, N + 1):
+                for i in range(1, j + 1):
+                    for j2 in range(j, N + 1):
+                        for i2 in range(1, i + 1):
+                            outer = SystemCoordinates(i=i, j=j, n=N)
+                            inner = SystemCoordinates(i=i2, j=j2, n=N)
+                            assert observation_6(problem, outer, inner)
+                            assert observation_7(problem, i, j, i2, j2)
+                            checks += 2
+    return checks
+
+
+def test_e6_observations_sweep(benchmark):
+    checks = once(benchmark, sweep)
+    print()
+    print(f"E6 — Observations 2-7 verified on {checks} generated instances over Π{N}")
+    assert checks > 5_000

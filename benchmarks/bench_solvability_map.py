@@ -1,0 +1,35 @@
+"""E5 — Theorem 27: the exact solvability map and the derived separations."""
+
+from repro.analysis.experiment import separation_statements_experiment, solvability_map_experiment
+from repro.analysis.reporting import ascii_table, render_solvability_grid
+from repro.types import AgreementInstance
+
+from _bench_utils import once
+
+PROBLEMS = ((2, 2, 4), (2, 1, 4), (3, 2, 5), (4, 3, 6), (3, 3, 7))
+
+
+def test_e5_solvability_grids(benchmark):
+    grids = once(benchmark, solvability_map_experiment, problems=PROBLEMS)
+    print()
+    for name, grid in grids.items():
+        n = max(j for (_, j) in grid)
+        print(f"E5 — Theorem 27 map for {name} (S = solvable)")
+        print(render_solvability_grid(grid, n=n))
+        print()
+    # Cross-check every cell against the closed-form characterization.
+    for (t, k, n) in PROBLEMS:
+        problem = AgreementInstance(t=t, k=k, n=n)
+        grid = grids[problem.describe()]
+        for (i, j), result in grid.items():
+            expected = True if k > t else (i <= k and j - i >= t + 1 - k)
+            assert result.solvable == expected, (t, k, n, i, j)
+
+
+def test_e5_separation_statements(benchmark):
+    headers, rows = once(
+        benchmark, separation_statements_experiment, problems=((2, 2, 4), (3, 2, 5), (2, 1, 4), (4, 3, 6))
+    )
+    print()
+    print(ascii_table(headers, rows, title="E5 — separations implied by Theorem 27"))
+    assert all(row[3] is True for row in rows)

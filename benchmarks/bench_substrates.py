@@ -1,0 +1,89 @@
+"""A3 — substrate microbenchmarks: registers, collects, snapshots, adopt-commit, simulator.
+
+These quantify the cost of the shared-memory substrate the algorithms run on,
+so the per-experiment timings elsewhere can be put in perspective (steps per
+second of the simulator, cost of one snapshot or adopt-commit round-trip).
+"""
+
+import random
+
+from repro.agreement.adopt_commit import AdoptCommit
+from repro.core.schedule import Schedule
+from repro.memory.registers import RegisterFile
+from repro.memory.snapshot import AtomicSnapshot
+from repro.runtime.automaton import FunctionAutomaton, IdleAutomaton, WriteOp
+from repro.runtime.simulator import Simulator
+
+
+def test_a3_register_file_throughput(benchmark):
+    registers = RegisterFile()
+
+    def workload():
+        for index in range(5_000):
+            registers.write(("r", index % 64), index)
+            registers.read(("r", (index * 7) % 64))
+        return registers.total_writes()
+
+    writes = benchmark(workload)
+    assert writes >= 5_000
+
+
+def test_a3_simulator_steps_per_second(benchmark):
+    simulator = Simulator(n=4, automata={pid: IdleAutomaton(pid, 4) for pid in range(1, 5)})
+    schedule = Schedule.round_robin(4, rounds=5_000)
+
+    def workload():
+        simulator.run(schedule)
+        return simulator.step_index
+
+    steps = benchmark(workload)
+    assert steps >= 20_000
+
+
+def test_a3_atomic_snapshot_round_trip(benchmark):
+    def workload():
+        snapshot = AtomicSnapshot("bench-snap", processes=[1, 2, 3, 4])
+        views = []
+
+        def factory(pid):
+            def program(automaton, ctx):
+                for round_number in range(10):
+                    yield from snapshot.update_fast(automaton.pid, (automaton.pid, round_number))
+                    views.append((yield from snapshot.scan(automaton.pid)))
+            return program
+
+        automata = {
+            pid: FunctionAutomaton(pid=pid, n=4, function=factory(pid)) for pid in range(1, 5)
+        }
+        simulator = Simulator(n=4, automata=automata)
+        rng = random.Random(3)
+        simulator.run(Schedule(steps=tuple(rng.randint(1, 4) for _ in range(40_000)), n=4))
+        return len(views)
+
+    scans = benchmark(workload)
+    assert scans >= 20
+
+
+def test_a3_adopt_commit_round_trip(benchmark):
+    def workload():
+        completed = 0
+        for seed in range(20):
+            ac = AdoptCommit(name=("bench-ac", seed), n=4)
+            results = {}
+
+            def factory(pid):
+                def program(automaton, ctx):
+                    results[automaton.pid] = yield from ac.propose(automaton.pid, automaton.pid)
+                return program
+
+            automata = {
+                pid: FunctionAutomaton(pid=pid, n=4, function=factory(pid)) for pid in range(1, 5)
+            }
+            simulator = Simulator(n=4, automata=automata)
+            rng = random.Random(seed)
+            simulator.run(Schedule(steps=tuple(rng.randint(1, 4) for _ in range(200)), n=4))
+            completed += len(results)
+        return completed
+
+    completed = benchmark(workload)
+    assert completed >= 40

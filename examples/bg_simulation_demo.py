@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The BG-simulation machinery used by the paper's impossibility proofs.
+
+Theorem 26(2b) has ``k + 1`` processes simulate an ``n``-process algorithm.
+This demo runs the reproduction's BG-style simulation substrate directly:
+
+* three simulators jointly drive a five-thread full-information protocol,
+  agreeing on every simulated step through safe-agreement objects;
+* then the run is repeated with one simulator crashing inside an unsafe
+  window, showing the defining BG property — a crashed simulator blocks at
+  most one simulated thread, the others keep being simulated to completion.
+
+Run:  python examples/bg_simulation_demo.py
+"""
+
+from repro.bg.simulation import full_information_agreement_protocol, make_bg_simulators
+from repro.core.schedule import Schedule
+from repro.runtime.simulator import Simulator
+
+SIMULATORS = 3
+THREADS = 5
+
+
+def run(schedule_steps, namespace):
+    protocol = full_information_agreement_protocol(threads=THREADS)
+    inputs = {pid: pid * 10 for pid in range(1, SIMULATORS + 1)}
+    automata = make_bg_simulators(SIMULATORS, protocol, inputs, namespace=namespace)
+    simulator = Simulator(n=SIMULATORS, automata=automata)
+    simulator.run(Schedule(steps=tuple(schedule_steps), n=SIMULATORS))
+    return automata
+
+
+def main() -> None:
+    print(f"{SIMULATORS} simulators, {THREADS} simulated threads, inputs 10/20/30")
+    print()
+
+    print("Failure-free run (round-robin of the simulators):")
+    automata = run([1, 2, 3] * 15_000, namespace="demo-ok")
+    for pid, automaton in automata.items():
+        print(f"  simulator {pid}: simulated decisions {automaton.simulated_decisions()}")
+    print()
+
+    print("Run where simulator 3 crashes inside its first unsafe window:")
+    automata = run((3,) + tuple([1, 2] * 40_000), namespace="demo-crash")
+    for pid in (1, 2):
+        decided = automata[pid].simulated_decisions()
+        print(
+            f"  simulator {pid}: decided {len(decided)}/{THREADS} threads "
+            f"({sorted(decided)}) — exactly one thread is blocked by the crash"
+        )
+    print()
+    print("All simulators that decide a thread decide the same value for it, and")
+    print("every decision is one of the agreed simulator inputs — the two properties")
+    print("the reduction in the paper's proof relies on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The separation of Theorem 26, demonstrated on a single schedule family.
+
+Setting ``n = k + 1`` and ``t = k``, the carrier-rotation adversary produces
+schedules in which the carrier set of size ``k`` is timely with respect to
+``Πn`` (so the schedule lies in ``S^k_{t+1,n}``), yet **no** set of size
+``k - 1`` is timely with respect to anything that matters.
+
+On that same schedule:
+
+* the Figure 2 detector with degree ``k`` stabilizes within a few hundred
+  steps and never changes its winner set again, and the detector-based
+  protocol solves ``(t, k, n)``-agreement;
+* the detector with degree ``k - 1`` — the machinery a ``(t, k-1, n)``
+  algorithm would need — keeps changing its winner set essentially forever
+  (its last change scales with whatever horizon we give it), matching the
+  impossibility on the stronger problem.
+
+Run:  python examples/separation_demo.py
+"""
+
+from repro import AgreementInstance, CarrierRotationAdversary, distinct_inputs, solve_agreement
+from repro.analysis.experiment import separation_experiment
+from repro.analysis.reporting import ascii_table
+from repro.analysis.timeliness_matrix import timely_sets_of_size
+
+K = 2
+N, T = K + 1, K
+
+
+def main() -> None:
+    adversary = CarrierRotationAdversary(n=N, carriers=frozenset(range(1, K + 1)))
+    print(f"schedule family: {adversary.description}")
+    prefix = adversary.generate(20_000)
+    print(
+        f"  sets of size {K} timely w.r.t. Πn (bound <= 8): "
+        f"{[sorted(s) for s in timely_sets_of_size(prefix, K, bound=8)]}"
+    )
+    print(
+        f"  sets of size {K - 1} timely w.r.t. Πn (bound <= 8): "
+        f"{[sorted(s) for s in timely_sets_of_size(prefix, K - 1, bound=8)]}"
+    )
+    print()
+
+    headers, rows = separation_experiment(k=K, horizons=(40_000, 80_000, 160_000))
+    print(
+        ascii_table(
+            headers,
+            rows,
+            title=(
+                f"E4 — detector behaviour on the same schedule: degree {K} stabilizes, "
+                f"degree {K - 1} churns to the horizon"
+            ),
+        )
+    )
+    print()
+
+    problem = AgreementInstance(t=T, k=K, n=N)
+    report = solve_agreement(problem, distinct_inputs(N), adversary, max_steps=400_000)
+    print(
+        f"solvable side: {problem.describe()} on this schedule -> decided "
+        f"{report.decisions} in {report.steps_executed} steps "
+        f"(specification satisfied: {report.verdict.satisfied})"
+    )
+    print()
+    print("Note on the unsolvable side: impossibility is a statement over all")
+    print("algorithms, so no finite run can prove it.  What the table shows is the")
+    print("behaviour the proof predicts for this machinery: without a timely set of")
+    print(f"size {K - 1}, the degree-{K - 1} detector's output never stabilizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Agreement layer: (t, k, n)-agreement protocols and their building blocks."""
+
+from .adopt_commit import AdoptCommit, AdoptCommitResult, Grade
+from .consensus import LeaderGatedConsensus
+from .kset import DECIDED_SLOT, DECISION, KSetFromAntiOmegaAutomaton
+from .problem import AgreementVerdict, binary_inputs, check_agreement, distinct_inputs
+from .runner import AgreementRunReport, solve_agreement
+from .trivial import TrivialKSetAgreementAutomaton
+
+__all__ = [
+    "AdoptCommit",
+    "AdoptCommitResult",
+    "Grade",
+    "LeaderGatedConsensus",
+    "DECIDED_SLOT",
+    "DECISION",
+    "KSetFromAntiOmegaAutomaton",
+    "AgreementVerdict",
+    "binary_inputs",
+    "check_agreement",
+    "distinct_inputs",
+    "AgreementRunReport",
+    "solve_agreement",
+    "TrivialKSetAgreementAutomaton",
+]

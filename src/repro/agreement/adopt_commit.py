@@ -1,0 +1,97 @@
+"""Adopt-commit objects from read/write registers.
+
+An adopt-commit object is the classic wait-free building block between
+"no agreement" and consensus: every process proposes a value and gets back a
+pair ``(flag, value)`` with
+
+* **Validity** — the returned value is some proposed value;
+* **Commit validity** — if every proposal is the same value ``v``, every
+  response is ``(COMMIT, v)``;
+* **Agreement** — if any response is ``(COMMIT, v)``, every response is
+  ``(COMMIT, v)`` or ``(ADOPT, v)``;
+* **Wait-freedom** — a process finishes in a bounded number of its own steps
+  regardless of others (here: ``2n + 2`` register operations).
+
+The construction is the standard two-phase one (Gafni): phase A publishes the
+proposal and checks for unanimity among the proposals seen; phase B publishes
+the phase-A outcome and commits only if nobody was seen disagreeing.
+
+The object is exposed as generator subroutines over a named register family so
+that the consensus layer can create a fresh object per round by changing the
+name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..types import ProcessId
+
+
+class Grade(Enum):
+    """Result grade of an adopt-commit proposal."""
+
+    COMMIT = "commit"
+    ADOPT = "adopt"
+
+
+@dataclass(frozen=True)
+class AdoptCommitResult:
+    """The ``(flag, value)`` pair returned by a proposal."""
+
+    grade: Grade
+    value: Any
+
+    @property
+    def committed(self) -> bool:
+        return self.grade is Grade.COMMIT
+
+
+class AdoptCommit:
+    """A named single-shot adopt-commit object over processes ``1..n``.
+
+    Registers used: ``(name, "A", p)`` and ``(name, "B", p)`` for each process
+    ``p``; both are single-writer (written only by ``p``).
+    """
+
+    def __init__(self, name: Hashable, n: int) -> None:
+        self.name = name
+        self.n = n
+
+    # ------------------------------------------------------------------
+    def _phase_a_register(self, pid: ProcessId) -> Hashable:
+        return (self.name, "A", pid)
+
+    def _phase_b_register(self, pid: ProcessId) -> Hashable:
+        return (self.name, "B", pid)
+
+    # ------------------------------------------------------------------
+    def propose(self, pid: ProcessId, value: Any) -> Program:
+        """Propose ``value``; returns an :class:`AdoptCommitResult`.
+
+        Exactly ``2n + 2`` shared-memory steps (two writes and two collects).
+        """
+        # Phase A: publish the proposal, then look for disagreement.
+        yield WriteOp(self._phase_a_register(pid), value)
+        phase_a: dict = {}
+        for q in range(1, self.n + 1):
+            phase_a[q] = yield ReadOp(self._phase_a_register(q))
+        seen = [v for v in phase_a.values() if v is not None]
+        unanimous = all(v == value for v in seen)
+        yield WriteOp(self._phase_b_register(pid), (unanimous, value))
+
+        # Phase B: commit only if nobody was seen disagreeing in phase A.
+        phase_b: dict = {}
+        for q in range(1, self.n + 1):
+            phase_b[q] = yield ReadOp(self._phase_b_register(q))
+        reports = [report for report in phase_b.values() if report is not None]
+        true_reports = [report for report in reports if report[0]]
+        if true_reports:
+            anchor = true_reports[0][1]
+            if all(report[0] and report[1] == anchor for report in reports):
+                return AdoptCommitResult(grade=Grade.COMMIT, value=anchor)
+            return AdoptCommitResult(grade=Grade.ADOPT, value=anchor)
+        return AdoptCommitResult(grade=Grade.ADOPT, value=value)

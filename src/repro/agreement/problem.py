@@ -1,0 +1,154 @@
+"""The (t, k, n)-agreement problem (Section 3) and run verdict checking.
+
+The problem: each process has an initial value and must decide a value such
+that
+
+* **Uniform k-agreement** — processes decide at most ``k`` distinct values;
+* **Uniform validity** — every decided value is some process's initial value;
+* **Termination** — if at most ``t`` processes are faulty, every correct
+  process eventually decides.
+
+Safety (the first two) can be checked exactly on any finite prefix; the
+termination clause on a prefix becomes "every correct process has decided by
+the end of the horizon", which the verdict reports as data together with who
+is still undecided, so callers can distinguish "needs a longer horizon" from
+"converged comfortably".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError, ProtocolViolationError
+from ..types import AgreementInstance, ProcessId, ProcessSet, process_set
+
+
+@dataclass(frozen=True)
+class AgreementVerdict:
+    """Outcome of checking a run against the (t, k, n)-agreement specification.
+
+    Attributes
+    ----------
+    problem:
+        The problem instance checked against.
+    valid:
+        Uniform validity holds (every decision is some process's input).
+    agreement:
+        Uniform k-agreement holds (at most ``k`` distinct decisions).
+    decided_correct:
+        Correct processes that decided.
+    undecided_correct:
+        Correct processes that had not decided by the end of the prefix.
+    distinct_decisions:
+        The set of distinct decision values observed.
+    terminated:
+        All correct processes decided (the prefix-level reading of Termination).
+    applicable:
+        Whether the Termination clause applies at all (at most ``t`` faulty).
+    """
+
+    problem: AgreementInstance
+    valid: bool
+    agreement: bool
+    decided_correct: ProcessSet
+    undecided_correct: ProcessSet
+    distinct_decisions: Tuple[Any, ...]
+    terminated: bool
+    applicable: bool
+
+    @property
+    def safe(self) -> bool:
+        """Both safety clauses hold."""
+        return self.valid and self.agreement
+
+    @property
+    def satisfied(self) -> bool:
+        """Safety holds, and Termination holds whenever it applies."""
+        return self.safe and (self.terminated or not self.applicable)
+
+
+def check_agreement(
+    problem: AgreementInstance,
+    inputs: Dict[ProcessId, Any],
+    decisions: Dict[ProcessId, Any],
+    correct: Iterable[ProcessId],
+    strict: bool = False,
+) -> AgreementVerdict:
+    """Check a run's inputs/decisions against the problem specification.
+
+    Parameters
+    ----------
+    problem:
+        The (t, k, n) instance.
+    inputs:
+        Initial value of every process (all ``n`` must be present).
+    decisions:
+        Decision of each process, ``None`` (or absent) meaning undecided.
+        Decisions of faulty processes still count for the uniform (safety)
+        clauses, exactly as in the paper's "uniform" formulation.
+    correct:
+        Ground-truth correct processes of the run's schedule.
+    strict:
+        When true, a safety violation raises :class:`ProtocolViolationError`
+        instead of being reported in the verdict.
+    """
+    n = problem.n
+    missing_inputs = [pid for pid in range(1, n + 1) if pid not in inputs]
+    if missing_inputs:
+        raise ConfigurationError(f"missing initial values for processes {missing_inputs}")
+    correct_set = process_set(correct)
+    for pid in correct_set:
+        if not 1 <= pid <= n:
+            raise ConfigurationError(f"correct set mentions unknown process {pid}")
+
+    decided: Dict[ProcessId, Any] = {
+        pid: value for pid, value in decisions.items() if value is not None
+    }
+    input_values = set(inputs.values())
+    valid = all(value in input_values for value in decided.values())
+    distinct = []
+    for value in decided.values():
+        if value not in distinct:
+            distinct.append(value)
+    agreement = len(distinct) <= problem.k
+
+    decided_correct = frozenset(pid for pid in correct_set if pid in decided)
+    undecided_correct = correct_set - decided_correct
+    faulty_count = n - len(correct_set)
+    applicable = faulty_count <= problem.t
+    terminated = not undecided_correct
+
+    if strict and not valid:
+        bad = {pid: value for pid, value in decided.items() if value not in input_values}
+        raise ProtocolViolationError(f"validity violated: decisions {bad} are not initial values")
+    if strict and not agreement:
+        raise ProtocolViolationError(
+            f"{len(distinct)} distinct decisions {distinct} exceed k={problem.k}"
+        )
+
+    return AgreementVerdict(
+        problem=problem,
+        valid=valid,
+        agreement=agreement,
+        decided_correct=decided_correct,
+        undecided_correct=undecided_correct,
+        distinct_decisions=tuple(distinct),
+        terminated=terminated,
+        applicable=applicable,
+    )
+
+
+def binary_inputs(n: int, ones: Iterable[ProcessId]) -> Dict[ProcessId, int]:
+    """Binary initial values: processes in ``ones`` propose 1, the rest 0."""
+    ones_set = process_set(ones)
+    return {pid: (1 if pid in ones_set else 0) for pid in range(1, n + 1)}
+
+
+def distinct_inputs(n: int) -> Dict[ProcessId, int]:
+    """Pairwise distinct initial values (process ``p`` proposes ``p * 100``).
+
+    The hardest case for k-agreement: any two decisions from different origins
+    are distinct, so the checker's distinct-decision count is exercised fully.
+    """
+    return {pid: pid * 100 for pid in range(1, n + 1)}

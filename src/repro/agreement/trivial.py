@@ -1,0 +1,62 @@
+"""The trivial algorithm for (t, k, n)-agreement when ``t < k``.
+
+Section 4.3 remarks that for ``t < k`` the problem is solvable in the plain
+asynchronous system.  The folklore algorithm: processes ``1 .. t+1`` publish
+their initial values in single-writer registers; every process repeatedly
+collects those ``t + 1`` registers until it sees at least one value, and
+decides the value of the smallest-id publisher it has seen.
+
+* **Validity** — decisions are published initial values.
+* **k-agreement** — at most ``t + 1 <= k`` distinct values can ever be decided
+  (one per publisher).
+* **Termination** — with at most ``t`` crashes, at least one of the ``t + 1``
+  publishers is correct, publishes, and every correct collector eventually
+  sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..runtime.automaton import ProcessAutomaton, ProcessContext, Program, ReadOp, WriteOp
+from ..types import ProcessId
+from .kset import DECISION
+
+
+class TrivialKSetAgreementAutomaton(ProcessAutomaton):
+    """One process of the trivial ``t < k`` algorithm.
+
+    Registers: ``("trivial-input", p)`` for each publisher ``p`` in ``1..t+1``.
+    """
+
+    def __init__(self, pid: ProcessId, n: int, t: int, k: int, input_value: Any) -> None:
+        super().__init__(pid, n, t=t, k=k)
+        if not 1 <= t <= n - 1:
+            raise ConfigurationError(f"need 1 <= t <= n-1, got t={t}, n={n}")
+        if not t < k <= n:
+            raise ConfigurationError(
+                f"the trivial algorithm applies only when t < k <= n, got t={t}, k={k}"
+            )
+        self.t = t
+        self.k = k
+        self.input_value = input_value
+        self.publish(DECISION, None)
+
+    def decision(self) -> Any:
+        """The decided value (``None`` until the process decides)."""
+        return self.output(DECISION)
+
+    def program(self, ctx: ProcessContext) -> Program:
+        publishers = list(range(1, self.t + 2))
+        if self.pid in publishers:
+            yield WriteOp(("trivial-input", self.pid), self.input_value)
+        while True:
+            seen: Optional[Any] = None
+            for publisher in publishers:
+                value = yield ReadOp(("trivial-input", publisher))
+                if value is not None and seen is None:
+                    seen = value
+            if seen is not None:
+                self.publish(DECISION, seen)
+                return seen

@@ -1,0 +1,47 @@
+"""Analysis layer: metric collection, experiment harnesses, reporting."""
+
+from .experiment import (
+    accusation_ablation_experiment,
+    agreement_experiment,
+    anti_omega_convergence_experiment,
+    default_agreement_configs,
+    default_detector_configs,
+    figure1_experiment,
+    schedule_family_comparison_experiment,
+    separation_experiment,
+    separation_statements_experiment,
+    solvability_map_experiment,
+    timeout_ablation_experiment,
+)
+from .metrics import DetectorConvergenceReport, run_detector_experiment
+from .reporting import ascii_table, bullet_list, format_cell, render_solvability_grid
+from .timeliness_matrix import (
+    PairwiseTimeliness,
+    best_set_witnesses,
+    pairwise_timeliness,
+    timely_sets_of_size,
+)
+
+__all__ = [
+    "accusation_ablation_experiment",
+    "agreement_experiment",
+    "anti_omega_convergence_experiment",
+    "default_agreement_configs",
+    "default_detector_configs",
+    "figure1_experiment",
+    "schedule_family_comparison_experiment",
+    "separation_experiment",
+    "separation_statements_experiment",
+    "solvability_map_experiment",
+    "timeout_ablation_experiment",
+    "DetectorConvergenceReport",
+    "run_detector_experiment",
+    "ascii_table",
+    "bullet_list",
+    "format_cell",
+    "render_solvability_grid",
+    "PairwiseTimeliness",
+    "best_set_witnesses",
+    "pairwise_timeliness",
+    "timely_sets_of_size",
+    ]

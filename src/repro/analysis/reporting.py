@@ -1,0 +1,88 @@
+"""Plain-text reporting helpers: the tables printed by benchmarks and examples.
+
+The paper has no numeric tables, so the experiment harness produces its own:
+per-experiment rows rendered as fixed-width ASCII tables (easy to diff, easy
+to paste into EXPERIMENTS.md).  Nothing here depends on the rest of the
+library — it only formats already-computed values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats to 3 significant decimals, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, frozenset):
+        return "{" + ",".join(str(v) for v in sorted(value)) + "}"
+    if isinstance(value, (set,)):
+        return "{" + ",".join(str(v) for v in sorted(value)) + "}"
+    if isinstance(value, tuple):
+        return "(" + ",".join(str(v) for v in value) + ")"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Returns the table as a string (callers decide whether to print it, log it
+    or write it to a report file).
+    """
+    rendered_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_line(list(headers)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_solvability_grid(
+    grid: Mapping[Tuple[int, int], Any], n: int, solvable_marker: str = "S", unsolvable_marker: str = "."
+) -> str:
+    """Render a Theorem 27 grid as a compact matrix (rows = j, columns = i).
+
+    ``grid`` maps ``(i, j)`` to anything with a truthy ``solvable`` attribute
+    (e.g. :class:`repro.core.solvability.SolvabilityResult`).
+    """
+    lines = ["    i: " + " ".join(f"{i:>2}" for i in range(1, n + 1))]
+    for j in range(1, n + 1):
+        cells = []
+        for i in range(1, n + 1):
+            result = grid.get((i, j))
+            if result is None:
+                cells.append("  ")
+            else:
+                solvable = bool(getattr(result, "solvable", result))
+                cells.append(f" {solvable_marker if solvable else unsolvable_marker}")
+        lines.append(f"j={j:>2}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def bullet_list(items: Iterable[str], indent: int = 2) -> str:
+    """Render an indented bullet list (used in example scripts' output)."""
+    prefix = " " * indent + "- "
+    return "\n".join(prefix + item for item in items)

@@ -1,0 +1,101 @@
+"""Timeliness analysis of observed schedules: matrices and witnesses.
+
+Given a finite schedule (typically a prefix produced by a generator or the
+trace actually executed by the simulator), these helpers answer:
+
+* how timely is each single process with respect to each other process
+  (the classical pairwise notion the paper generalizes), and
+* which pairs of *sets* of prescribed sizes have the smallest observed
+  timeliness bounds — i.e. which ``S^i_{j,n}`` memberships the prefix gives
+  evidence for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from ..core.schedule import Schedule
+from ..core.systems import SetTimelinessSystem, SystemWitness
+from ..core.timeliness import analyze_timeliness
+from ..types import ProcessId, ProcessSet
+
+
+@dataclass(frozen=True)
+class PairwiseTimeliness:
+    """Observed pairwise timeliness bounds of a schedule.
+
+    ``bounds[(p, q)]`` is the minimal ``i`` such that every window of the
+    schedule with ``i`` steps of ``q`` contains a step of ``p``.
+    """
+
+    n: int
+    bounds: Dict[Tuple[ProcessId, ProcessId], int]
+    total_steps: int
+
+    def bound(self, p: ProcessId, q: ProcessId) -> int:
+        return self.bounds[(p, q)]
+
+    def most_timely_process(self) -> ProcessId:
+        """The process with the smallest worst-case bound over all references."""
+        def worst(p: ProcessId) -> int:
+            return max(self.bounds[(p, q)] for q in range(1, self.n + 1) if q != p)
+
+        candidates = [p for p in range(1, self.n + 1)]
+        return min(candidates, key=lambda p: (worst(p), p))
+
+    def rows(self) -> List[List[object]]:
+        """Matrix rows suitable for :func:`repro.analysis.reporting.ascii_table`."""
+        table: List[List[object]] = []
+        for p in range(1, self.n + 1):
+            row: List[object] = [f"P={{{p}}}"]
+            for q in range(1, self.n + 1):
+                row.append("-" if p == q else self.bounds[(p, q)])
+            table.append(row)
+        return table
+
+
+def pairwise_timeliness(schedule: Schedule) -> PairwiseTimeliness:
+    """Compute the full pairwise (singleton) timeliness matrix of a schedule."""
+    bounds: Dict[Tuple[ProcessId, ProcessId], int] = {}
+    for p in range(1, schedule.n + 1):
+        for q in range(1, schedule.n + 1):
+            if p == q:
+                continue
+            bounds[(p, q)] = analyze_timeliness(schedule, {p}, {q}).minimal_bound
+    return PairwiseTimeliness(n=schedule.n, bounds=bounds, total_steps=len(schedule))
+
+
+def best_set_witnesses(
+    schedule: Schedule, sizes: List[Tuple[int, int]]
+) -> Dict[Tuple[int, int], SystemWitness]:
+    """For each requested ``(i, j)`` size pair, the best observed witness.
+
+    The result maps the size pair to the :class:`SystemWitness` with the
+    smallest observed bound, i.e. the strongest evidence that the schedule's
+    infinite extension belongs to ``S^i_{j,n}``.
+    """
+    witnesses: Dict[Tuple[int, int], SystemWitness] = {}
+    for (i, j) in sizes:
+        system = SetTimelinessSystem(i=i, j=j, n=schedule.n)
+        witnesses[(i, j)] = system.best_witness(schedule)
+    return witnesses
+
+
+def timely_sets_of_size(
+    schedule: Schedule, size: int, reference: Optional[ProcessSet] = None, bound: int = 8
+) -> List[ProcessSet]:
+    """All sets of the given size timely w.r.t. ``reference`` within ``bound``.
+
+    ``reference`` defaults to ``Πn``.  Used by separation experiments to show
+    that *no* set of a given size keeps up under an adversary schedule while
+    some larger set does.
+    """
+    reference_set = reference if reference is not None else frozenset(range(1, schedule.n + 1))
+    found: List[ProcessSet] = []
+    for combo in combinations(range(1, schedule.n + 1), size):
+        candidate = frozenset(combo)
+        if analyze_timeliness(schedule, candidate, reference_set).minimal_bound <= bound:
+            found.append(candidate)
+    return found

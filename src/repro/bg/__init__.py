@@ -1,0 +1,27 @@
+"""BG-simulation substrate: safe agreement and the simulator machinery."""
+
+from .safe_agreement import (
+    SafeAgreement,
+    SafeAgreementOutcome,
+    SafeAgreementStatus,
+)
+from .simulation import (
+    RESOLVED_STEPS,
+    SIMULATED_DECISIONS,
+    BGSimulatorAutomaton,
+    SimulatedProtocol,
+    full_information_agreement_protocol,
+    make_bg_simulators,
+)
+
+__all__ = [
+    "SafeAgreement",
+    "SafeAgreementOutcome",
+    "SafeAgreementStatus",
+    "RESOLVED_STEPS",
+    "SIMULATED_DECISIONS",
+    "BGSimulatorAutomaton",
+    "SimulatedProtocol",
+    "full_information_agreement_protocol",
+    "make_bg_simulators",
+]

@@ -1,0 +1,108 @@
+"""Safe agreement: the building block of the BG simulation (Theorem 26's proof).
+
+A *safe agreement* object lets every process propose a value and later read a
+decision such that
+
+* **Agreement** — all decisions are equal;
+* **Validity** — the decision is a proposed value;
+* **Conditional wait-freedom** — the object has an *unsafe window*: if no
+  process crashes while inside its (bounded) proposal section, every correct
+  process eventually obtains the decision.  A crash inside the window may
+  block the object forever — which is exactly the price the BG simulation
+  pays: one blocked simulated thread per crashed simulator.
+
+Construction (standard, from read/write registers):
+
+* ``propose(v)`` — write ``(v, level=1)`` to your component; collect all
+  components; if any component is at level 2, retreat to level 0, otherwise
+  advance to level 2.  (Bounded: 2 writes + 1 collect.)
+* ``resolve()`` — collect; if some component is at level 1, the object is not
+  ready (a proposer is mid-window); otherwise the decision is the value of the
+  smallest-id component at level 2.  (One collect per attempt; retried by the
+  caller.)
+
+The proposal section (between the two writes) is the unsafe window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..types import ProcessId
+
+
+class SafeAgreementStatus(Enum):
+    """Result of a :meth:`SafeAgreement.try_resolve` attempt."""
+
+    DECIDED = "decided"
+    PENDING = "pending"
+
+
+@dataclass(frozen=True)
+class SafeAgreementOutcome:
+    """The outcome of a resolve attempt: a decision, or "not ready yet"."""
+
+    status: SafeAgreementStatus
+    value: Any = None
+
+    @property
+    def decided(self) -> bool:
+        return self.status is SafeAgreementStatus.DECIDED
+
+
+class SafeAgreement:
+    """A named single-shot safe-agreement object over processes ``1..n``.
+
+    Registers: ``(name, p) -> (value, level)`` with ``level`` in {0, 1, 2},
+    written only by ``p``.
+    """
+
+    def __init__(self, name: Hashable, n: int) -> None:
+        self.name = name
+        self.n = n
+
+    # ------------------------------------------------------------------
+    def _register(self, pid: ProcessId) -> Hashable:
+        return (self.name, pid)
+
+    def _collect(self) -> Program:
+        cells: Dict[ProcessId, Optional[Tuple[Any, int]]] = {}
+        for q in range(1, self.n + 1):
+            cells[q] = yield ReadOp(self._register(q))
+        return cells
+
+    # ------------------------------------------------------------------
+    def propose(self, pid: ProcessId, value: Any) -> Program:
+        """Propose ``value``; bounded (``n + 2`` steps).  The unsafe window is
+        the interval between the two writes this routine performs."""
+        yield WriteOp(self._register(pid), (value, 1))
+        cells = yield from self._collect()
+        someone_at_level_2 = any(cell is not None and cell[1] == 2 for cell in cells.values())
+        final_level = 0 if someone_at_level_2 else 2
+        yield WriteOp(self._register(pid), (value, final_level))
+        return None
+
+    def try_resolve(self, pid: ProcessId) -> Program:
+        """One resolution attempt (one collect).
+
+        Returns a :class:`SafeAgreementOutcome`; callers loop on ``PENDING``.
+        """
+        cells = yield from self._collect()
+        entries = [(q, cell) for q, cell in cells.items() if cell is not None]
+        if any(cell[1] == 1 for _, cell in entries):
+            return SafeAgreementOutcome(status=SafeAgreementStatus.PENDING)
+        level_2 = [(q, cell) for q, cell in entries if cell[1] == 2]
+        if not level_2:
+            return SafeAgreementOutcome(status=SafeAgreementStatus.PENDING)
+        smallest = min(level_2, key=lambda item: item[0])
+        return SafeAgreementOutcome(status=SafeAgreementStatus.DECIDED, value=smallest[1][0])
+
+    def resolve(self, pid: ProcessId) -> Program:
+        """Resolve by retrying until a decision is available (unbounded)."""
+        while True:
+            outcome = yield from self.try_resolve(pid)
+            if outcome.decided:
+                return outcome.value

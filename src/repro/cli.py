@@ -1,0 +1,187 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Usage (installed or from a checkout)::
+
+    python -m repro list                      # list available experiments
+    python -m repro figure1                   # E1
+    python -m repro detector --horizon 60000  # E2
+    python -m repro agreement                 # E3
+    python -m repro separation --k 2          # E4
+    python -m repro map --t 2 --k 2 --n 4     # E5 (one problem's grid)
+    python -m repro ablation-accusation       # A1
+    python -m repro ablation-timeout          # A2
+    python -m repro solve --t 2 --k 2 --n 4   # one end-to-end agreement run
+
+Every command prints the same ASCII tables the benchmarks record, so the CLI
+is the quickest way to regenerate a single entry of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .agreement.problem import distinct_inputs
+from .agreement.runner import solve_agreement
+from .analysis.experiment import (
+    accusation_ablation_experiment,
+    agreement_experiment,
+    anti_omega_convergence_experiment,
+    figure1_experiment,
+    separation_experiment,
+    separation_statements_experiment,
+    solvability_map_experiment,
+    timeout_ablation_experiment,
+)
+from .analysis.reporting import ascii_table, render_solvability_grid
+from .core.solvability import matching_system, solvable_frontier
+from .schedules.set_timely import SetTimelyGenerator
+from .types import AgreementInstance
+
+#: Experiment names accepted by the CLI, with one-line descriptions.
+EXPERIMENTS = {
+    "figure1": "E1 — Figure 1 observed timeliness bounds",
+    "detector": "E2 — k-anti-Ω convergence on certified S^k_{t+1,n} schedules",
+    "agreement": "E3 — (t,k,n)-agreement on certified schedules",
+    "separation": "E4 — Theorem 26 separation on the carrier-rotation adversary",
+    "map": "E5 — Theorem 27 solvability map for one problem",
+    "separations": "E5 — separation statements cross-checked against the oracle",
+    "ablation-accusation": "A1 — accusation-statistic ablation",
+    "ablation-timeout": "A2 — timeout growth policy ablation",
+    "solve": "one end-to-end agreement run in the matching system",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Partial Synchrony Based on Set Timeliness' (PODC 2009)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    figure1 = subparsers.add_parser("figure1", help=EXPERIMENTS["figure1"])
+    figure1.add_argument("--blocks", type=int, nargs="+", default=[2, 4, 8, 16, 32])
+
+    detector = subparsers.add_parser("detector", help=EXPERIMENTS["detector"])
+    detector.add_argument("--horizon", type=int, default=60_000)
+
+    agreement = subparsers.add_parser("agreement", help=EXPERIMENTS["agreement"])
+    agreement.add_argument("--horizon", type=int, default=600_000)
+
+    separation = subparsers.add_parser("separation", help=EXPERIMENTS["separation"])
+    separation.add_argument("--k", type=int, default=2)
+    separation.add_argument("--horizons", type=int, nargs="+", default=[40_000, 80_000, 160_000])
+
+    grid = subparsers.add_parser("map", help=EXPERIMENTS["map"])
+    grid.add_argument("--t", type=int, required=True)
+    grid.add_argument("--k", type=int, required=True)
+    grid.add_argument("--n", type=int, required=True)
+
+    subparsers.add_parser("separations", help=EXPERIMENTS["separations"])
+    subparsers.add_parser("ablation-accusation", help=EXPERIMENTS["ablation-accusation"])
+
+    ablation_timeout = subparsers.add_parser("ablation-timeout", help=EXPERIMENTS["ablation-timeout"])
+    ablation_timeout.add_argument("--horizon", type=int, default=200_000)
+    ablation_timeout.add_argument("--bound", type=int, default=400)
+
+    solve = subparsers.add_parser("solve", help=EXPERIMENTS["solve"])
+    solve.add_argument("--t", type=int, required=True)
+    solve.add_argument("--k", type=int, required=True)
+    solve.add_argument("--n", type=int, required=True)
+    solve.add_argument("--seed", type=int, default=7)
+    solve.add_argument("--max-steps", type=int, default=400_000)
+
+    return parser
+
+
+def _run_list() -> List[str]:
+    lines = ["available experiments:"]
+    for name, description in EXPERIMENTS.items():
+        lines.append(f"  {name:<22} {description}")
+    return lines
+
+
+def _run_map(t: int, k: int, n: int) -> List[str]:
+    problem = AgreementInstance(t=t, k=k, n=n)
+    grids = solvability_map_experiment(problems=((t, k, n),))
+    grid = grids[problem.describe()]
+    lines = [f"Theorem 27 map for {problem.describe()} (S = solvable)"]
+    lines.append(render_solvability_grid(grid, n=n))
+    lines.append(f"matching system: {matching_system(problem).describe()}")
+    lines.append(
+        "frontier: " + ", ".join(coords.describe() for coords in solvable_frontier(problem))
+    )
+    return lines
+
+
+def _run_solve(t: int, k: int, n: int, seed: int, max_steps: int) -> List[str]:
+    problem = AgreementInstance(t=t, k=k, n=n)
+    if k <= t:
+        p_set = set(range(1, k + 1))
+        q_set = set(range(1, t + 2))
+    else:
+        p_set = {1}
+        q_set = set(range(1, n + 1))
+    generator = SetTimelyGenerator(n=n, p_set=p_set, q_set=q_set, bound=3, seed=seed)
+    report = solve_agreement(problem, distinct_inputs(n), generator, max_steps=max_steps)
+    lines = [
+        f"problem:   {problem.describe()}",
+        f"system:    {matching_system(problem).describe()}",
+        f"schedule:  {generator.description}",
+        f"protocol:  {report.protocol}",
+        f"decisions: {report.decisions}",
+        f"satisfied: {report.verdict.satisfied} "
+        f"(distinct decisions: {len(report.verdict.distinct_decisions)}, k={k})",
+        f"steps executed: {report.steps_executed} of {max_steps} budgeted",
+    ]
+    if report.detector_verdict is not None:
+        lines.append(
+            f"detector:  satisfied={report.detector_verdict.satisfied}, "
+            f"stabilization step={report.detector_verdict.stabilization_step}"
+        )
+    return lines
+
+
+def run(argv: Optional[Sequence[str]] = None) -> List[str]:
+    """Execute the CLI and return the lines it would print (also used by tests)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        return _run_list()
+    if args.command == "figure1":
+        headers, rows = figure1_experiment(blocks=tuple(args.blocks))
+        return [ascii_table(headers, rows, title=EXPERIMENTS["figure1"])]
+    if args.command == "detector":
+        headers, rows = anti_omega_convergence_experiment(horizon=args.horizon)
+        return [ascii_table(headers, rows, title=EXPERIMENTS["detector"])]
+    if args.command == "agreement":
+        headers, rows = agreement_experiment(horizon=args.horizon)
+        return [ascii_table(headers, rows, title=EXPERIMENTS["agreement"])]
+    if args.command == "separation":
+        headers, rows = separation_experiment(k=args.k, horizons=tuple(args.horizons))
+        return [ascii_table(headers, rows, title=EXPERIMENTS["separation"])]
+    if args.command == "map":
+        return _run_map(args.t, args.k, args.n)
+    if args.command == "separations":
+        headers, rows = separation_statements_experiment()
+        return [ascii_table(headers, rows, title=EXPERIMENTS["separations"])]
+    if args.command == "ablation-accusation":
+        headers, rows = accusation_ablation_experiment()
+        return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-accusation"])]
+    if args.command == "ablation-timeout":
+        headers, rows = timeout_ablation_experiment(horizon=args.horizon, bound=args.bound)
+        return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-timeout"])]
+    if args.command == "solve":
+        return _run_solve(args.t, args.k, args.n, args.seed, args.max_steps)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    for line in run(argv):
+        print(line)
+    return 0

@@ -1,0 +1,85 @@
+"""Core formalism of the paper: schedules, set timeliness, systems, solvability.
+
+This package is the paper's Section 2 and Sections 3/5 statements made
+executable.  It has no dependency on the simulator; everything here operates
+on plain schedules and parameters.
+"""
+
+from .reductions import (
+    FictitiousEmbedding,
+    PaddedWitness,
+    embed_with_fictitious_processes,
+    pad_witness_to_resilience,
+    verify_fictitious_membership,
+)
+from .schedule import InfiniteSchedule, Schedule, ScheduleBuilder, interleave
+from .solvability import (
+    SeparationStatement,
+    SolvabilityResult,
+    Verdict,
+    classify,
+    is_solvable,
+    matching_system,
+    matching_system_object,
+    separations,
+    solvability_grid,
+    solvable_frontier,
+    verify_separations,
+)
+from .systems import (
+    AsynchronousSystem,
+    SetTimelinessSystem,
+    System,
+    SystemWitness,
+    asynchronous_system,
+    partially_synchronous_system,
+    system_family,
+)
+from .timeliness import (
+    PFreeSegment,
+    TimelinessWitness,
+    analyze_timeliness,
+    find_violating_window,
+    is_timely,
+    minimal_timeliness_bound,
+    p_free_segments,
+    process_timely,
+)
+
+__all__ = [
+    "FictitiousEmbedding",
+    "PaddedWitness",
+    "embed_with_fictitious_processes",
+    "pad_witness_to_resilience",
+    "verify_fictitious_membership",
+    "InfiniteSchedule",
+    "Schedule",
+    "ScheduleBuilder",
+    "interleave",
+    "SeparationStatement",
+    "SolvabilityResult",
+    "Verdict",
+    "classify",
+    "is_solvable",
+    "matching_system",
+    "matching_system_object",
+    "separations",
+    "solvability_grid",
+    "solvable_frontier",
+    "verify_separations",
+    "AsynchronousSystem",
+    "SetTimelinessSystem",
+    "System",
+    "SystemWitness",
+    "asynchronous_system",
+    "partially_synchronous_system",
+    "system_family",
+    "PFreeSegment",
+    "TimelinessWitness",
+    "analyze_timeliness",
+    "find_violating_window",
+    "is_timely",
+    "minimal_timeliness_bound",
+    "p_free_segments",
+    "process_timely",
+]

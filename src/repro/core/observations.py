@@ -1,0 +1,99 @@
+"""Observations 2–7 of the paper, bundled as one checkable catalogue.
+
+Each observation is exposed as a function returning ``True`` when the
+observation holds for the supplied concrete instance.  The functions are used
+by the property-based tests (experiment E6) and by
+``benchmarks/bench_observations.py``; they deliberately re-derive each claim
+from the lower-level machinery (timeliness analysis, system containment,
+solvability oracle) rather than restating it, so a bug in the machinery makes
+the observation checks fail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..types import AgreementInstance, ProcessId, SystemCoordinates, process_set
+from .schedule import Schedule
+from .solvability import observation_6_containment, observation_7_monotonicity
+from .systems import AsynchronousSystem, SetTimelinessSystem
+from .timeliness import observation_2_union, observation_3_monotonicity
+
+
+def observation_2(
+    schedule: Schedule,
+    p_set: Iterable[ProcessId],
+    q_set: Iterable[ProcessId],
+    p_prime: Iterable[ProcessId],
+    q_prime: Iterable[ProcessId],
+) -> bool:
+    """Observation 2: timeliness is preserved under unions of both sides."""
+    return observation_2_union(schedule, p_set, q_set, p_prime, q_prime)
+
+
+def observation_3(
+    schedule: Schedule,
+    p_set: Iterable[ProcessId],
+    q_set: Iterable[ProcessId],
+    p_superset: Iterable[ProcessId],
+    q_subset: Iterable[ProcessId],
+) -> bool:
+    """Observation 3: growing ``P`` and shrinking ``Q`` preserves timeliness."""
+    return observation_3_monotonicity(schedule, p_set, q_set, p_superset, q_subset)
+
+
+def observation_4(i: int, j: int, i_prime: int, j_prime: int, n: int) -> bool:
+    """Observation 4: ``S^{i'}_{j',n} ⊆ S^i_{j,n}`` when ``i' <= i`` and ``j <= j' <= n``.
+
+    Returns ``True`` when the containment computed by
+    :meth:`SetTimelinessSystem.contains` matches the observation for the given
+    parameters (vacuously true when the premise fails).
+    """
+    if not (1 <= i <= j <= n and 1 <= i_prime <= j_prime <= n):
+        return True
+    if not (i_prime <= i and j <= j_prime):
+        return True
+    outer = SetTimelinessSystem(i=i, j=j, n=n)
+    inner = SetTimelinessSystem(i=i_prime, j=j_prime, n=n)
+    return outer.contains(inner)
+
+
+def observation_5(i: int, n: int, schedule: Schedule) -> bool:
+    """Observation 5: ``S^i_{i,n}`` is the asynchronous system ``S_n``.
+
+    Checked structurally (the system reports itself asynchronous and contains
+    the asynchronous system and vice versa) and behaviourally (it admits the
+    given arbitrary schedule, as the asynchronous system does).
+    """
+    if not 1 <= i <= n:
+        return True
+    diagonal = SetTimelinessSystem(i=i, j=i, n=n)
+    asynchronous = AsynchronousSystem(n)
+    structurally_equal = (
+        diagonal.is_asynchronous()
+        and diagonal.contains(asynchronous)
+        and asynchronous.contains(diagonal)
+    )
+    if schedule.n != n:
+        return structurally_equal
+    return structurally_equal and diagonal.admits(schedule) and asynchronous.admits(schedule)
+
+
+def observation_6(problem: AgreementInstance, outer: SystemCoordinates, inner: SystemCoordinates) -> bool:
+    """Observation 6: solvability propagates to contained systems."""
+    return observation_6_containment(problem, outer, inner)
+
+
+def observation_7(problem: AgreementInstance, i: int, j: int, i_prime: int, j_prime: int) -> bool:
+    """Observation 7: solvability in ``S^i_{j,n}`` transfers to smaller ``i'``/larger ``j'``."""
+    return observation_7_monotonicity(problem, i, j, i_prime, j_prime)
+
+
+def virtual_process_view(schedule: Schedule, members: Iterable[ProcessId]) -> Schedule:
+    """The "virtual process" reading of a set (Section 1's intuition).
+
+    Returns the subsequence of the schedule consisting of steps taken by
+    members of the set — i.e. the step sequence of the single virtual process
+    obtained by erasing indices, as in Figure 1's bottom row.
+    """
+    return schedule.restricted_to(process_set(members))

@@ -1,0 +1,175 @@
+"""Schedule-level reductions used by the paper's impossibility proofs.
+
+Two constructions inside the proof of Theorem 27 are pure schedule
+transformations, and making them executable lets tests and experiments check
+their stated properties directly:
+
+* **Fictitious crashed processes** (Theorem 27, part 2b): the ``m`` processes
+  of an asynchronous system ``S_m`` pretend to be part of a larger system of
+  ``n = m + (j - i)`` processes in which the extra processes are crashed from
+  the start.  :func:`embed_with_fictitious_processes` performs the embedding
+  on schedules and :func:`verify_fictitious_membership` checks the property
+  the proof needs — every embedded schedule has a set of size ``i`` timely
+  with respect to a set of size ``j`` (namely any ``i`` real processes
+  together with the ``j - i`` fictitious ones), so it belongs to ``S^i_{j,n}``.
+
+* **Union padding** (Theorem 27, part 1b): a witness for ``S^i_{j,n}`` with
+  ``j < t + 1`` is upgraded to a witness for ``S^l_{t+1,n}`` by adjoining
+  ``t + 1 - j`` processes outside ``Q`` to both sides (Observation 2 with a
+  set that is trivially timely with respect to itself).
+  :func:`pad_witness_to_resilience` computes the upgraded pair of sets and the
+  resulting coordinates, exactly as the proof does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import ProcessId, ProcessSet, SystemCoordinates, process_set, universe
+from .schedule import Schedule
+from .timeliness import analyze_timeliness
+
+
+@dataclass(frozen=True)
+class FictitiousEmbedding:
+    """Result of embedding an ``S_m`` schedule into a larger universe.
+
+    Attributes
+    ----------
+    schedule:
+        The embedded schedule over ``Πn`` (step sequence unchanged — the
+        fictitious processes never step — but re-typed to the larger universe
+        and annotated with them as faulty).
+    real_processes:
+        The original ``m`` process ids (unchanged: ``1..m``).
+    fictitious_processes:
+        The ``n - m`` processes that are crashed from the start.
+    """
+
+    schedule: Schedule
+    real_processes: ProcessSet
+    fictitious_processes: ProcessSet
+
+    @property
+    def n(self) -> int:
+        return self.schedule.n
+
+
+def embed_with_fictitious_processes(schedule: Schedule, extra: int) -> FictitiousEmbedding:
+    """Embed an ``m``-process schedule into ``Π(m + extra)`` with crashed extras.
+
+    The fictitious processes take no step at all (they are "crashed from the
+    start", as in the proof), so the step sequence is unchanged; only the
+    universe grows and the faulty hint records the fictitious processes.
+    """
+    if extra < 0:
+        raise ConfigurationError(f"the number of fictitious processes must be >= 0, got {extra}")
+    m = schedule.n
+    n = m + extra
+    fictitious = frozenset(range(m + 1, n + 1))
+    embedded = Schedule(steps=schedule.steps, n=n, faulty_hint=fictitious or None)
+    return FictitiousEmbedding(
+        schedule=embedded,
+        real_processes=universe(m),
+        fictitious_processes=fictitious,
+    )
+
+
+def verify_fictitious_membership(
+    embedding: FictitiousEmbedding,
+    i: int,
+    j: int,
+    real_witness: Optional[Iterable[ProcessId]] = None,
+) -> bool:
+    """Check the proof's claim: the embedded schedule is in ``S^i_{j,n}``.
+
+    The witness pair is ``P_i`` (any ``i`` real processes — callers may pin
+    them via ``real_witness``) versus ``P_i ∪ C`` where ``C`` are ``j - i``
+    fictitious processes; because the fictitious processes never step, the
+    observed timeliness bound of the pair equals the bound of ``P_i`` with
+    respect to itself, which is 1.  Returns ``True`` when that bound is
+    achieved on the embedded schedule (i.e. the membership witness checks
+    out); raises on malformed parameters.
+    """
+    n = embedding.n
+    if not 1 <= i <= j <= n:
+        raise ConfigurationError(f"need 1 <= i <= j <= n, got i={i}, j={j}, n={n}")
+    if j - i > len(embedding.fictitious_processes):
+        raise ConfigurationError(
+            f"need at least j - i = {j - i} fictitious processes, "
+            f"got {len(embedding.fictitious_processes)}"
+        )
+    if real_witness is not None:
+        p_set = process_set(real_witness)
+        if len(p_set) != i or not p_set <= embedding.real_processes:
+            raise ConfigurationError(
+                f"real_witness must be {i} real processes, got {sorted(p_set)}"
+            )
+    else:
+        p_set = frozenset(sorted(embedding.real_processes)[:i])
+    fictitious_part = frozenset(sorted(embedding.fictitious_processes)[: j - i])
+    q_set = p_set | fictitious_part
+    witness = analyze_timeliness(embedding.schedule, p_set, q_set)
+    # Every Q-step is a P-step (the fictitious processes never step), so the
+    # witness must achieve the trivial bound 1; anything larger means the
+    # embedding is broken.
+    return witness.minimal_bound == 1
+
+
+@dataclass(frozen=True)
+class PaddedWitness:
+    """The upgraded witness produced by the Theorem 27(1b) padding argument."""
+
+    p_set: ProcessSet
+    q_set: ProcessSet
+    coordinates: SystemCoordinates
+    padding: ProcessSet
+    bound: int
+
+
+def pad_witness_to_resilience(
+    schedule: Schedule,
+    p_set: Iterable[ProcessId],
+    q_set: Iterable[ProcessId],
+    t: int,
+) -> PaddedWitness:
+    """Upgrade a ``(P_i, P_j)`` witness with ``j < t + 1`` to a ``(P_l, P_{t+1})`` one.
+
+    Following the proof of Theorem 27(1b): choose ``t + 1 - j`` processes
+    outside ``P_j`` (possible because ``n >= t + 1``), adjoin them to both
+    sides (Observation 2: the adjoined set is timely with respect to itself),
+    and return the resulting sets, their sizes and the observed bound of the
+    upgraded pair on the given schedule.
+    """
+    p_frozen = process_set(p_set)
+    q_frozen = process_set(q_set)
+    n = schedule.n
+    if not p_frozen or not q_frozen:
+        raise ConfigurationError("the witness sets must be non-empty")
+    if not (p_frozen <= universe(n) and q_frozen <= universe(n)):
+        raise ConfigurationError("the witness sets must live in the schedule's universe")
+    if not 1 <= t <= n - 1:
+        raise ConfigurationError(f"need 1 <= t <= n-1, got t={t}, n={n}")
+    j = len(q_frozen)
+    if j >= t + 1:
+        padding: ProcessSet = frozenset()
+    else:
+        needed = t + 1 - j
+        candidates = sorted(universe(n) - q_frozen)
+        if len(candidates) < needed:
+            raise ConfigurationError(
+                f"cannot find {needed} processes outside Q in a universe of {n}"
+            )
+        padding = frozenset(candidates[:needed])
+    new_p = p_frozen | padding
+    new_q = q_frozen | padding
+    bound = analyze_timeliness(schedule, new_p, new_q).minimal_bound
+    return PaddedWitness(
+        p_set=new_p,
+        q_set=new_q,
+        coordinates=SystemCoordinates(i=len(new_p), j=len(new_q), n=n),
+        padding=padding,
+        bound=bound,
+    )

@@ -1,0 +1,278 @@
+"""The paper's solvability characterization (Theorems 24, 26, 27; Corollary 25).
+
+The headline result (Theorem 27) is an exact characterization:
+
+    For every ``1 <= k <= t <= n-1`` and ``1 <= i <= j <= n``, the
+    ``(t, k, n)``-agreement problem can be solved in ``S^i_{j,n}``
+    **iff** ``i <= k`` and ``j - i >= t + 1 - k``.
+
+When ``k > t`` the problem is solvable even in the asynchronous system
+(Corollary 25's preamble), hence in every ``S^i_{j,n}``.
+
+This module exposes the characterization as an *oracle*, computes the
+"closely matching" system ``S^k_{t+1,n}`` for a problem instance, derives the
+separation statements of Theorem 26, and provides solvability grids that the
+benchmarks and EXPERIMENTS.md render as the paper's result map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import AgreementInstance, SystemCoordinates
+from .systems import SetTimelinessSystem, System
+
+
+class Verdict(Enum):
+    """Solvability verdict of a problem in a system."""
+
+    SOLVABLE = "solvable"
+    UNSOLVABLE = "unsolvable"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.SOLVABLE
+
+
+@dataclass(frozen=True)
+class SolvabilityResult:
+    """The oracle's verdict together with the clause of Theorem 27 that decides it."""
+
+    problem: AgreementInstance
+    system: SystemCoordinates
+    verdict: Verdict
+    reason: str
+
+    @property
+    def solvable(self) -> bool:
+        return bool(self.verdict)
+
+
+def _coords(system: "System | SystemCoordinates") -> SystemCoordinates:
+    if isinstance(system, System):
+        return system.coordinates()
+    return system
+
+
+def is_solvable(problem: AgreementInstance, system: "System | SystemCoordinates") -> bool:
+    """Theorem 27 as a boolean oracle (with the trivial ``k > t`` case folded in)."""
+    return classify(problem, system).solvable
+
+
+def classify(problem: AgreementInstance, system: "System | SystemCoordinates") -> SolvabilityResult:
+    """Theorem 27 with an explanation of which clause applies.
+
+    The system and problem must share the same ``n``.
+    """
+    coords = _coords(system)
+    if coords.n != problem.n:
+        raise ConfigurationError(
+            f"problem over n={problem.n} processes cannot be judged in a system over n={coords.n}"
+        )
+    t, k, n = problem.t, problem.k, problem.n
+    i, j = coords.i, coords.j
+
+    if k > t:
+        return SolvabilityResult(
+            problem=problem,
+            system=coords,
+            verdict=Verdict.SOLVABLE,
+            reason=(
+                f"k={k} > t={t}: (t,k,n)-agreement is solvable even in the asynchronous "
+                "system S_n (Section 4.3), hence in every S^i_{j,n}"
+            ),
+        )
+    if i > k:
+        return SolvabilityResult(
+            problem=problem,
+            system=coords,
+            verdict=Verdict.UNSOLVABLE,
+            reason=(
+                f"i={i} > k={k}: by Theorem 26(2) (k,k,n)-agreement is unsolvable in "
+                f"S^{{k+1}}_{{n,n}}, and Observation 7 lifts the impossibility to S^{i}_{{{j},{n}}}"
+            ),
+        )
+    if j - i < t + 1 - k:
+        return SolvabilityResult(
+            problem=problem,
+            system=coords,
+            verdict=Verdict.UNSOLVABLE,
+            reason=(
+                f"j-i={j - i} < t+1-k={t + 1 - k}: the fictitious-crash reduction of "
+                "Theorem 27(2b) reduces to (ℓ,ℓ,m)-agreement in an asynchronous system, "
+                "which is impossible"
+            ),
+        )
+    return SolvabilityResult(
+        problem=problem,
+        system=coords,
+        verdict=Verdict.SOLVABLE,
+        reason=(
+            f"i={i} <= k={k} and j-i={j - i} >= t+1-k={t + 1 - k}: Theorem 27(1) "
+            "(via the algorithm of Figure 2 and Corollary 25)"
+        ),
+    )
+
+
+def matching_system(problem: AgreementInstance) -> SystemCoordinates:
+    """The system that "closely matches" the problem: ``S^k_{t+1,n}``.
+
+    Theorem 24 shows the problem solvable there; the discussion after the main
+    result shows it is *not* solvable for the two incrementally stronger
+    problems.  For ``k > t`` the problem is solvable asynchronously, so the
+    matching system is the asynchronous ``S^n_{n,n}``.
+    """
+    if problem.k > problem.t:
+        return SystemCoordinates(i=problem.n, j=problem.n, n=problem.n)
+    return SystemCoordinates(i=problem.k, j=problem.t + 1, n=problem.n)
+
+
+def matching_system_object(problem: AgreementInstance) -> SetTimelinessSystem:
+    """Same as :func:`matching_system` but returning a constructed system object."""
+    coords = matching_system(problem)
+    return SetTimelinessSystem(i=coords.i, j=coords.j, n=coords.n)
+
+
+@dataclass(frozen=True)
+class SeparationStatement:
+    """One arm of the separation Theorem 26 / the discussion after Theorem 27.
+
+    ``system`` solves ``solvable_problem`` but not ``unsolvable_problem``.
+    """
+
+    system: SystemCoordinates
+    solvable_problem: AgreementInstance
+    unsolvable_problem: AgreementInstance
+    description: str
+
+
+def separations(problem: AgreementInstance) -> List[SeparationStatement]:
+    """The separations the paper derives for a problem instance.
+
+    For ``(t, k, n)`` with ``k <= t`` the system ``S^k_{t+1,n}`` solves
+    ``(t, k, n)``-agreement but neither ``(t+1, k, n)``-agreement (stronger
+    resilience) nor ``(t, k-1, n)``-agreement (stronger agreement), whenever
+    those stronger instances are well formed.
+    """
+    if problem.k > problem.t:
+        return []
+    system = matching_system(problem)
+    statements: List[SeparationStatement] = []
+    if problem.t + 1 <= problem.n - 1:
+        stronger_resilience = AgreementInstance(t=problem.t + 1, k=problem.k, n=problem.n)
+        statements.append(
+            SeparationStatement(
+                system=system,
+                solvable_problem=problem,
+                unsolvable_problem=stronger_resilience,
+                description=(
+                    f"{system.describe()} solves {problem.describe()} but not "
+                    f"{stronger_resilience.describe()} (stronger resiliency)"
+                ),
+            )
+        )
+    if problem.k - 1 >= 1:
+        stronger_agreement = AgreementInstance(t=problem.t, k=problem.k - 1, n=problem.n)
+        statements.append(
+            SeparationStatement(
+                system=system,
+                solvable_problem=problem,
+                unsolvable_problem=stronger_agreement,
+                description=(
+                    f"{system.describe()} solves {problem.describe()} but not "
+                    f"{stronger_agreement.describe()} (stronger agreement)"
+                ),
+            )
+        )
+    return statements
+
+
+def verify_separations(problem: AgreementInstance) -> bool:
+    """Cross-check the separation statements against the Theorem 27 oracle.
+
+    Returns ``True`` when, for every derived separation, the oracle marks the
+    weaker problem solvable and the stronger one unsolvable in the matching
+    system.  Used by tests and the E4 benchmark as an internal consistency
+    check of the characterization.
+    """
+    for statement in separations(problem):
+        if not is_solvable(statement.solvable_problem, statement.system):
+            return False
+        if is_solvable(statement.unsolvable_problem, statement.system):
+            return False
+    return True
+
+
+def solvability_grid(problem: AgreementInstance) -> Dict[Tuple[int, int], SolvabilityResult]:
+    """The full Theorem 27 map: verdicts for every ``(i, j)`` with ``i <= j <= n``."""
+    grid: Dict[Tuple[int, int], SolvabilityResult] = {}
+    for j in range(1, problem.n + 1):
+        for i in range(1, j + 1):
+            coords = SystemCoordinates(i=i, j=j, n=problem.n)
+            grid[(i, j)] = classify(problem, coords)
+    return grid
+
+
+def solvable_frontier(problem: AgreementInstance) -> List[SystemCoordinates]:
+    """Weakest systems (maximal in the containment order) in which the problem is solvable.
+
+    A system is *weaker* when it admits more schedules; by Observation 4 that
+    means a larger ``i`` and a smaller ``j``.  A solvable cell ``(i, j)`` is on
+    the frontier when no other solvable cell ``(i', j')`` is strictly weaker,
+    i.e. none with ``i' >= i`` and ``j' <= j`` (other than itself).  For
+    ``k <= t`` the frontier is the diagonal ``{(i, i + t + 1 - k) : i <= k}``,
+    whose ``i = k`` endpoint is the paper's closely matching system
+    ``S^k_{t+1,n}``.
+    """
+    grid = solvability_grid(problem)
+    solvable_cells = [cell for cell, result in grid.items() if result.solvable]
+    frontier: List[SystemCoordinates] = []
+    for (i, j) in solvable_cells:
+        dominated = False
+        for (i2, j2) in solvable_cells:
+            if (i2, j2) != (i, j) and i2 >= i and j2 <= j:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(SystemCoordinates(i=i, j=j, n=problem.n))
+    return sorted(frontier)
+
+
+# ----------------------------------------------------------------------
+# Observations 6 and 7 — monotonicity of solvability under containment
+# ----------------------------------------------------------------------
+
+def observation_6_containment(problem: AgreementInstance, system: SystemCoordinates, contained: SystemCoordinates) -> bool:
+    """Observation 6: solvable in ``S`` implies solvable in every ``S' ⊆ S``.
+
+    Checked through the oracle: if the oracle says solvable in ``system`` and
+    ``contained`` really is contained in ``system`` (per Observation 4), then
+    the oracle must also say solvable in ``contained``.  Returns ``True`` when
+    the implication holds (vacuously true when premises fail).
+    """
+    outer = SetTimelinessSystem(i=system.i, j=system.j, n=system.n)
+    inner = SetTimelinessSystem(i=contained.i, j=contained.j, n=contained.n)
+    if not outer.contains(inner):
+        return True
+    if not is_solvable(problem, system):
+        return True
+    return is_solvable(problem, contained)
+
+
+def observation_7_monotonicity(problem: AgreementInstance, i: int, j: int, i_prime: int, j_prime: int) -> bool:
+    """Observation 7: solvability in ``S^i_{j,n}`` transfers to ``S^{i'}_{j',n}``
+    whenever ``i' <= i`` and ``j' >= j``.
+
+    Returns ``True`` when the implication holds for the given parameters
+    (vacuously true when the premises fail).
+    """
+    n = problem.n
+    if not (1 <= i <= j <= n and 1 <= i_prime <= j_prime <= n):
+        return True
+    if not (i_prime <= i and j_prime >= j):
+        return True
+    if not is_solvable(problem, SystemCoordinates(i=i, j=j, n=n)):
+        return True
+    return is_solvable(problem, SystemCoordinates(i=i_prime, j=j_prime, n=n))

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the set-timeliness reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from runtime (simulation) failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters.
+
+    Examples: a system ``S^i_{j,n}`` with ``i > j``, an agreement problem with
+    ``t >= n``, or a schedule generator asked to produce steps for an empty
+    process set.
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule operation failed (bad process id, exhausted generator, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state.
+
+    Typical causes: scheduling a process whose automaton already terminated, or
+    an automaton yielding an object that is not a shared-memory operation.
+    """
+
+
+class RegisterError(ReproError):
+    """A shared-memory register operation was invalid (unknown register, bad owner)."""
+
+
+class ProtocolViolationError(ReproError):
+    """An algorithm violated the safety specification it was checked against.
+
+    Raised by verdict checkers (e.g. the (t,k,n)-agreement checker) when a run
+    breaks validity or k-agreement.  Liveness shortfalls are reported as data,
+    not exceptions, because a finite prefix can never refute an "eventually".
+    """
+
+
+class VerificationError(ReproError):
+    """A property verifier was asked to check an ill-formed run or trace."""

@@ -1,0 +1,49 @@
+"""Failure detectors: t-resilient k-anti-Ω (Figure 2), Ω, and their verifiers."""
+
+from .anti_omega import (
+    KAntiOmegaAutomaton,
+    KSet,
+    constant_timeout_policy,
+    doubling_timeout_policy,
+    k_subsets,
+    make_anti_omega_algorithm,
+    max_accusation_statistic,
+    median_accusation_statistic,
+    min_accusation_statistic,
+    paper_accusation_statistic,
+    paper_timeout_policy,
+)
+from .base import FD_OUTPUT, ITERATION, LEADER, WINNER_SET, FailureDetectorAutomaton, fd_outputs_of
+from .omega import OmegaAutomaton, make_omega_algorithm
+from .properties import (
+    AntiOmegaVerdict,
+    LeaderSetVerdict,
+    check_k_anti_omega,
+    check_leader_set_convergence,
+)
+
+__all__ = [
+    "KAntiOmegaAutomaton",
+    "KSet",
+    "constant_timeout_policy",
+    "doubling_timeout_policy",
+    "k_subsets",
+    "make_anti_omega_algorithm",
+    "max_accusation_statistic",
+    "median_accusation_statistic",
+    "min_accusation_statistic",
+    "paper_accusation_statistic",
+    "paper_timeout_policy",
+    "FD_OUTPUT",
+    "ITERATION",
+    "LEADER",
+    "WINNER_SET",
+    "FailureDetectorAutomaton",
+    "fd_outputs_of",
+    "OmegaAutomaton",
+    "make_omega_algorithm",
+    "AntiOmegaVerdict",
+    "LeaderSetVerdict",
+    "check_k_anti_omega",
+    "check_leader_set_convergence",
+]

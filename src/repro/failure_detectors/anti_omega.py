@@ -1,0 +1,235 @@
+"""The Figure 2 algorithm: t-resilient k-anti-Ω in system ``S^k_{t+1,n}``.
+
+This is a line-by-line transcription of the paper's Figure 2 into the
+one-shared-memory-operation-per-step automaton model of
+:mod:`repro.runtime.automaton`.  Shared registers:
+
+* ``("Heartbeat", p)`` — initialized to 0, written only by ``p`` (line 7);
+* ``("Counter", A, q)`` — initialized to 0 for every k-subset ``A`` of ``Πn``
+  and every process ``q``, written only by ``q`` (line 19).
+
+Local state and control flow mirror the pseudocode exactly; the only
+extensions are two pluggable policies used by the ablation experiments
+(A1, A2) and disabled by default:
+
+* ``accusation_statistic`` — line 3 uses the (t+1)-st smallest entry of
+  ``Counter[A, *]``; the ablation swaps in min / max / median to show how each
+  breaks one direction of Lemma 15.
+* ``timeout_policy`` — line 17 increments the timeout by 1; the ablation
+  swaps in doubling or a constant to measure the stabilization-time /
+  final-timeout trade-off.
+
+The automaton publishes ``fdOutput``, ``winnerset``, ``accusations`` (the
+local accusation vector) and ``iteration`` after every completed main-loop
+iteration, so observers can measure stabilization without touching shared
+memory.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.automaton import ProcessContext, Program, ReadOp, WriteOp
+from ..types import ProcessId
+from .base import FD_OUTPUT, ITERATION, LEADER, WINNER_SET, FailureDetectorAutomaton
+
+#: A k-subset of Πn, canonically represented as a sorted tuple of process ids.
+KSet = Tuple[ProcessId, ...]
+
+#: Statistic applied to the counter vector ``Counter[A, *]`` (line 3).
+AccusationStatistic = Callable[[Sequence[int], int], int]
+
+#: Timeout growth policy applied when a timer expires (line 17).
+TimeoutPolicy = Callable[[int], int]
+
+
+# ----------------------------------------------------------------------
+# k-subsets of Πn and the total order used for tie-breaking (line 4)
+# ----------------------------------------------------------------------
+
+def k_subsets(n: int, k: int) -> List[KSet]:
+    """``Π^k_n``: all k-subsets of ``Πn`` as sorted tuples, in lexicographic order.
+
+    Lexicographic order on the sorted tuples is the arbitrary total order used
+    for breaking ties in line 4 of Figure 2.
+    """
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k-subsets need 1 <= k <= n, got k={k}, n={n}")
+    return [tuple(combo) for combo in combinations(range(1, n + 1), k)]
+
+
+# ----------------------------------------------------------------------
+# Pluggable policies (defaults follow the paper exactly)
+# ----------------------------------------------------------------------
+
+def paper_accusation_statistic(values: Sequence[int], t: int) -> int:
+    """Line 3: the (t+1)-st smallest value of ``Counter[A, *]``."""
+    ordered = sorted(values)
+    return ordered[t]
+
+
+def min_accusation_statistic(values: Sequence[int], t: int) -> int:
+    """Ablation A1: the smallest counter value (breaks the divergence direction)."""
+    return min(values)
+
+
+def max_accusation_statistic(values: Sequence[int], t: int) -> int:
+    """Ablation A1: the largest counter value (breaks the stabilization direction)."""
+    return max(values)
+
+
+def median_accusation_statistic(values: Sequence[int], t: int) -> int:
+    """Ablation A1: the median counter value (correct only when t+1 = ceil(n/2))."""
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def paper_timeout_policy(timeout: int) -> int:
+    """Line 17: grow the timeout by one on expiry."""
+    return timeout + 1
+
+
+def doubling_timeout_policy(timeout: int) -> int:
+    """Ablation A2: double the timeout on expiry (faster stabilization, larger final timeout)."""
+    return timeout * 2
+
+
+def constant_timeout_policy(timeout: int) -> int:
+    """Ablation A2: never grow the timeout (breaks Lemma 11 — counters never settle)."""
+    return timeout
+
+
+class KAntiOmegaAutomaton(FailureDetectorAutomaton):
+    """One process's copy of the Figure 2 algorithm.
+
+    Parameters
+    ----------
+    pid, n:
+        Process identity.
+    t:
+        Resilience parameter (``1 <= t <= n - 1``).
+    k:
+        Anti-Ω degree (``1 <= k <= n - 1``); the detector output has ``n - k``
+        processes.
+    accusation_statistic, timeout_policy:
+        Ablation hooks; defaults are the paper's choices.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        k: int,
+        accusation_statistic: AccusationStatistic = paper_accusation_statistic,
+        timeout_policy: TimeoutPolicy = paper_timeout_policy,
+    ) -> None:
+        super().__init__(pid, n, t=t, k=k)
+        if not 1 <= t <= n - 1:
+            raise ConfigurationError(f"k-anti-Ω needs 1 <= t <= n-1, got t={t}, n={n}")
+        if not 1 <= k <= n - 1:
+            raise ConfigurationError(f"k-anti-Ω needs 1 <= k <= n-1, got k={k}, n={n}")
+        self.t = t
+        self.k = k
+        self.accusation_statistic = accusation_statistic
+        self.timeout_policy = timeout_policy
+        self.ksets = k_subsets(n, k)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def declare_registers(register_file: "Any", n: int, k: int) -> None:
+        """Declare ``Heartbeat[*]`` and ``Counter[*, *]`` with their initial values.
+
+        Optional — the register file lazily defaults to ``None`` otherwise and
+        the automaton treats ``None`` as 0 — but declaring keeps runs closer to
+        the paper's explicit initial configuration and enables single-writer
+        ownership checks.
+        """
+        for p in range(1, n + 1):
+            register_file.declare(("Heartbeat", p), initial=0, writer=p)
+        for a_set in k_subsets(n, k):
+            for q in range(1, n + 1):
+                register_file.declare(("Counter", a_set, q), initial=0, writer=q)
+
+    # ------------------------------------------------------------------
+    def program(self, ctx: ProcessContext) -> Program:
+        n, t, p = self.n, self.t, self.pid
+        ksets = self.ksets
+        processes = list(range(1, n + 1))
+
+        # Local variables (Figure 2, "Local variables" block).
+        my_hb = 0
+        prev_heartbeat: Dict[ProcessId, int] = {q: 0 for q in processes}
+        timeout: Dict[KSet, int] = {a: 1 for a in ksets}
+        timer: Dict[KSet, int] = {a: timeout[a] for a in ksets}
+        cnt: Dict[Tuple[KSet, ProcessId], int] = {(a, q): 0 for a in ksets for q in processes}
+        iteration = 0
+
+        while True:
+            # Lines 2-5: choose FD output.
+            for a_set in ksets:
+                for q in processes:
+                    value = yield ReadOp(("Counter", a_set, q))
+                    cnt[(a_set, q)] = int(value) if value is not None else 0
+            accusation: Dict[KSet, int] = {}
+            for a_set in ksets:
+                counter_vector = [cnt[(a_set, q)] for q in processes]
+                accusation[a_set] = self.accusation_statistic(counter_vector, t)
+            winnerset = min(ksets, key=lambda a_set: (accusation[a_set], a_set))
+            fd_output = frozenset(processes) - frozenset(winnerset)
+            # Line 5's assignment is observable immediately (fdOutput is a local
+            # variable the environment may read at any time).
+            self.publish(FD_OUTPUT, fd_output)
+            self.publish(WINNER_SET, winnerset)
+            self.publish("accusations", dict(accusation))
+            if self.k == 1:
+                self.publish(LEADER, winnerset[0])
+
+            # Lines 6-7: bump the heartbeat.
+            my_hb += 1
+            yield WriteOp(("Heartbeat", p), my_hb)
+
+            # Lines 8-13: check other processes' heartbeats, reset timers.
+            for q in processes:
+                hbq = yield ReadOp(("Heartbeat", q))
+                hbq = int(hbq) if hbq is not None else 0
+                if hbq > prev_heartbeat[q]:
+                    for a_set in ksets:
+                        if q in a_set:
+                            timer[a_set] = timeout[a_set]
+                    prev_heartbeat[q] = hbq
+
+            # Lines 14-19: expire timers, accuse.
+            for a_set in ksets:
+                timer[a_set] -= 1
+                if timer[a_set] == 0:
+                    timeout[a_set] = self.timeout_policy(timeout[a_set])
+                    timer[a_set] = timeout[a_set]
+                    yield WriteOp(("Counter", a_set, p), cnt[(a_set, p)] + 1)
+
+            # End-of-iteration bookkeeping (free: local variables only).
+            iteration += 1
+            self.publish(ITERATION, iteration)
+
+
+def make_anti_omega_algorithm(
+    n: int,
+    t: int,
+    k: int,
+    accusation_statistic: AccusationStatistic = paper_accusation_statistic,
+    timeout_policy: TimeoutPolicy = paper_timeout_policy,
+) -> Dict[ProcessId, KAntiOmegaAutomaton]:
+    """One :class:`KAntiOmegaAutomaton` per process — the full Figure 2 algorithm."""
+    return {
+        pid: KAntiOmegaAutomaton(
+            pid=pid,
+            n=n,
+            t=t,
+            k=k,
+            accusation_statistic=accusation_statistic,
+            timeout_policy=timeout_policy,
+        )
+        for pid in range(1, n + 1)
+    }

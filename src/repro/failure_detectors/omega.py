@@ -1,0 +1,66 @@
+"""Ω-style leader election as the ``k = 1`` specialization of Figure 2.
+
+The paper notes (footnote 2) that ``(n-1)``-resilient 1-anti-Ω is equivalent
+to the failure detector Ω of Chandra–Hadzilacos–Toueg: the complement of the
+output is a single process, and eventually all correct processes agree on a
+single correct process.  :class:`OmegaAutomaton` simply runs
+:class:`~repro.failure_detectors.anti_omega.KAntiOmegaAutomaton` with ``k = 1``
+and re-exports the winner as the published ``leader``.
+
+This specialization is used by the leader-gated consensus instances of the
+agreement layer and by tests that validate the detector family at its
+best-known corner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..types import ProcessId
+from .anti_omega import (
+    AccusationStatistic,
+    KAntiOmegaAutomaton,
+    TimeoutPolicy,
+    paper_accusation_statistic,
+    paper_timeout_policy,
+)
+from .base import LEADER
+
+
+class OmegaAutomaton(KAntiOmegaAutomaton):
+    """t-resilient Ω: the ``k = 1`` instance of the Figure 2 algorithm.
+
+    Output: the published ``leader`` is the single member of the winner set;
+    eventually all correct processes publish the same correct leader whenever
+    the run's schedule lies in ``S^1_{t+1,n}`` (some single process is timely
+    with respect to some set of ``t + 1`` processes).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        t: int,
+        accusation_statistic: AccusationStatistic = paper_accusation_statistic,
+        timeout_policy: TimeoutPolicy = paper_timeout_policy,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("Ω needs at least two processes")
+        super().__init__(
+            pid=pid,
+            n=n,
+            t=t,
+            k=1,
+            accusation_statistic=accusation_statistic,
+            timeout_policy=timeout_policy,
+        )
+
+    def leader(self) -> ProcessId:
+        """The currently elected leader (``None`` before the first iteration)."""
+        return self.output(LEADER)
+
+
+def make_omega_algorithm(n: int, t: int) -> Dict[ProcessId, OmegaAutomaton]:
+    """One :class:`OmegaAutomaton` per process — a full t-resilient Ω algorithm."""
+    return {pid: OmegaAutomaton(pid=pid, n=n, t=t) for pid in range(1, n + 1)}

@@ -1,0 +1,209 @@
+"""Verifiers for the failure-detector specifications on finite run prefixes.
+
+The t-resilient k-anti-Ω specification (Section 4.1): if at most ``t``
+processes are faulty then there exist a correct process ``c`` and a time after
+which, for every correct process ``p``, ``c ∉ fdOutput_p``.
+
+On a finite prefix we can only check the *stabilized* version: does there
+exist a correct ``c`` that no correct process suspects from some step onward,
+with that step comfortably inside the observed horizon?  The verifiers below
+therefore return rich verdict objects (stabilization step, witness process,
+whether the winner sets of all correct processes converged to a common value —
+Lemma 22's stronger property) and leave the pass/fail threshold to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import VerificationError
+from ..runtime.observers import OutputTracker
+from ..types import ProcessId, ProcessSet, process_set
+
+
+@dataclass(frozen=True)
+class AntiOmegaVerdict:
+    """Result of checking the k-anti-Ω property on a finite run prefix.
+
+    Attributes
+    ----------
+    satisfied:
+        Whether some correct process is unsuspected by every correct process
+        from ``stabilization_step`` onward (and every correct process has
+        produced at least one output).
+    witness:
+        The correct process realizing the property (smallest id if several).
+    stabilization_step:
+        The earliest global step from which the witness is never suspected by
+        any correct process.  ``None`` when not satisfied.
+    horizon:
+        The length of the analysed prefix, for computing stabilization margins.
+    converged_winner_set:
+        The common winner set all correct processes hold at the end of the
+        prefix, when they agree (Lemma 22's stronger property); ``None``
+        otherwise.
+    """
+
+    satisfied: bool
+    witness: Optional[ProcessId]
+    stabilization_step: Optional[int]
+    horizon: int
+    converged_winner_set: Optional[Tuple[ProcessId, ...]]
+
+    def margin(self) -> Optional[float]:
+        """Fraction of the horizon left after stabilization (1.0 = immediately)."""
+        if not self.satisfied or self.stabilization_step is None or self.horizon == 0:
+            return None
+        return 1.0 - self.stabilization_step / self.horizon
+
+
+def check_k_anti_omega(
+    fd_tracker: OutputTracker,
+    winner_tracker: Optional[OutputTracker],
+    correct: Iterable[ProcessId],
+    n: int,
+    k: int,
+    horizon: int,
+) -> AntiOmegaVerdict:
+    """Check the k-anti-Ω property from recorded output histories.
+
+    Parameters
+    ----------
+    fd_tracker:
+        Tracker of the ``fdOutput`` key over the run.
+    winner_tracker:
+        Optional tracker of the ``winnerset`` key, used to report the stronger
+        Lemma 22 convergence.
+    correct:
+        Ground-truth correct processes of the run's schedule.
+    n, k:
+        System size and detector degree (used for sanity checks on outputs).
+    horizon:
+        Number of steps in the analysed prefix.
+    """
+    correct_set = process_set(correct)
+    if not correct_set:
+        raise VerificationError("the k-anti-Ω property is about runs with at least one correct process")
+
+    final_outputs = fd_tracker.final_values()
+    # Every correct process must have produced at least one output to judge anything.
+    producing = {pid for pid in correct_set if final_outputs.get(pid) is not None}
+    if producing != correct_set:
+        return AntiOmegaVerdict(
+            satisfied=False,
+            witness=None,
+            stabilization_step=None,
+            horizon=horizon,
+            converged_winner_set=_converged_winner(winner_tracker, correct_set),
+        )
+    for pid in correct_set:
+        output = final_outputs[pid]
+        if not isinstance(output, frozenset) or len(output) != n - k:
+            raise VerificationError(
+                f"process {pid} published a malformed fdOutput {output!r}; expected a frozenset of size {n - k}"
+            )
+
+    best_witness: Optional[ProcessId] = None
+    best_step: Optional[int] = None
+    for candidate in sorted(correct_set):
+        last_suspected = _last_step_suspected(fd_tracker, candidate, correct_set)
+        if last_suspected is None:
+            # Never suspected by any correct process after they started outputting.
+            stabilization = _first_output_step(fd_tracker, correct_set)
+        else:
+            # Suspected up to last_suspected; also must not be suspected in the
+            # final outputs (otherwise it is suspected "forever" as far as the
+            # prefix can tell).
+            if any(candidate in final_outputs[pid] for pid in correct_set):
+                continue
+            stabilization = last_suspected + 1
+        if stabilization is None:
+            continue
+        if best_step is None or stabilization < best_step:
+            best_step = stabilization
+            best_witness = candidate
+
+    return AntiOmegaVerdict(
+        satisfied=best_witness is not None,
+        witness=best_witness,
+        stabilization_step=best_step,
+        horizon=horizon,
+        converged_winner_set=_converged_winner(winner_tracker, correct_set),
+    )
+
+
+def _last_step_suspected(
+    fd_tracker: OutputTracker, candidate: ProcessId, correct_set: ProcessSet
+) -> Optional[int]:
+    """Last global step at which any correct process published an output containing ``candidate``."""
+    last: Optional[int] = None
+    for change in fd_tracker.changes:
+        if change.pid not in correct_set:
+            continue
+        if change.value is not None and candidate in change.value:
+            last = change.step
+    return last
+
+
+def _first_output_step(fd_tracker: OutputTracker, correct_set: ProcessSet) -> Optional[int]:
+    """Earliest step by which every correct process has published an output."""
+    first_by_pid: Dict[ProcessId, int] = {}
+    for change in fd_tracker.changes:
+        if change.pid in correct_set and change.pid not in first_by_pid:
+            first_by_pid[change.pid] = change.step
+    if set(first_by_pid) != set(correct_set):
+        return None
+    return max(first_by_pid.values())
+
+
+def _converged_winner(
+    winner_tracker: Optional[OutputTracker], correct_set: ProcessSet
+) -> Optional[Tuple[ProcessId, ...]]:
+    if winner_tracker is None:
+        return None
+    finals = winner_tracker.final_values()
+    values = {finals.get(pid) for pid in correct_set}
+    if len(values) == 1:
+        value = values.pop()
+        if value is not None:
+            return tuple(value)
+    return None
+
+
+@dataclass(frozen=True)
+class LeaderSetVerdict:
+    """Result of checking Lemma 22's stronger property (common eventual winner set).
+
+    ``converged`` — all correct processes ended the prefix with the same winner
+    set; ``winner_set`` — that set; ``contains_correct`` — whether it contains
+    a correct process (Lemma 20); ``stabilization_step`` — last step at which
+    any correct process's winner set changed.
+    """
+
+    converged: bool
+    winner_set: Optional[Tuple[ProcessId, ...]]
+    contains_correct: bool
+    stabilization_step: Optional[int]
+
+
+def check_leader_set_convergence(
+    winner_tracker: OutputTracker,
+    correct: Iterable[ProcessId],
+) -> LeaderSetVerdict:
+    """Check that all correct processes converged to one winner set containing a correct process."""
+    correct_set = process_set(correct)
+    finals = winner_tracker.final_values()
+    values = {finals.get(pid) for pid in correct_set}
+    if len(values) != 1 or None in values:
+        return LeaderSetVerdict(
+            converged=False, winner_set=None, contains_correct=False, stabilization_step=None
+        )
+    winner = tuple(values.pop())
+    stabilization = winner_tracker.stabilization_step(sorted(correct_set))
+    return LeaderSetVerdict(
+        converged=True,
+        winner_set=winner,
+        contains_correct=bool(set(winner) & set(correct_set)),
+        stabilization_step=stabilization,
+    )

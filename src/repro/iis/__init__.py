@@ -1,0 +1,17 @@
+"""IIS substrate: immediate snapshots and the iterated model of Section 6."""
+
+from .immediate_snapshot import ImmediateSnapshot
+from .iterated import (
+    FINAL_VIEW,
+    VIEWS,
+    IteratedImmediateSnapshotAutomaton,
+    phase_shifted_round_schedule,
+)
+
+__all__ = [
+    "ImmediateSnapshot",
+    "FINAL_VIEW",
+    "VIEWS",
+    "IteratedImmediateSnapshotAutomaton",
+    "phase_shifted_round_schedule",
+]

@@ -1,0 +1,58 @@
+"""One-shot immediate snapshot from read/write registers.
+
+The IIS model discussed in Section 6 (related work) is built from *immediate
+snapshot* objects: each participant writes a value and obtains a view (a set
+of written values) such that
+
+* **Self-inclusion** — a process's view contains its own value;
+* **Containment** — any two views are ordered by inclusion;
+* **Immediacy** — if ``p``'s view contains ``q``'s value then ``q``'s view is
+  contained in ``p``'s view.
+
+We implement the classical one-shot construction of Borowsky and Gafni: a
+process descends through levels ``n, n-1, ...``; at level ``L`` it writes
+``(value, L)`` to its component and collects; if at least ``L`` components sit
+at level ``≤ L`` it returns those components' values as its view, otherwise it
+descends one level.  Wait-free: at most ``n`` iterations of ``n + 1`` steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..types import ProcessId
+
+
+class ImmediateSnapshot:
+    """A named one-shot immediate snapshot object over processes ``1..n``.
+
+    Registers: ``(name, p) -> (value, level)``, written only by ``p``.
+    """
+
+    def __init__(self, name: Hashable, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("an immediate snapshot needs at least one process")
+        self.name = name
+        self.n = n
+
+    def _register(self, pid: ProcessId) -> Hashable:
+        return (self.name, pid)
+
+    def write_and_snapshot(self, pid: ProcessId, value: Any) -> Program:
+        """Participate with ``value``; returns the view ``{pid: value}``."""
+        level = self.n + 1
+        while True:
+            level -= 1
+            yield WriteOp(self._register(pid), (value, level))
+            cells: Dict[ProcessId, Optional[Tuple[Any, int]]] = {}
+            for q in range(1, self.n + 1):
+                cells[q] = yield ReadOp(self._register(q))
+            at_or_below = {
+                q: cell[0]
+                for q, cell in cells.items()
+                if cell is not None and cell[1] <= level
+            }
+            if len(at_or_below) >= level:
+                return at_or_below

@@ -1,0 +1,112 @@
+"""The iterated immediate snapshot (IIS) model and the paper's Section 6 remark.
+
+In the IIS model, computation proceeds in rounds; in round ``r`` every process
+accesses a fresh one-shot immediate snapshot object: it writes its current
+state and obtains a view of the states written by others in that round, which
+becomes its state for round ``r + 1``.
+
+The paper contrasts its timeliness-based model with IIS/IRIS: restricting
+which snapshots can be returned (IRIS) is not the same as restricting process
+speeds, because *"a process that never appears in the snapshot of other
+processes may be a process that is actually timely ... this process may
+execute at the same speed as other processes but always start a round a few
+steps later."*  The :class:`IteratedImmediateSnapshotAutomaton` plus the
+phase-shifted schedule produced by :func:`phase_shifted_round_schedule` make
+that remark executable (experiment E9): the shifted process is timely at the
+step level, yet its value never shows up in anyone else's view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.schedule import Schedule, ScheduleBuilder
+from ..errors import ConfigurationError
+from ..runtime.automaton import ProcessAutomaton, ProcessContext, Program
+from ..types import ProcessId
+from .immediate_snapshot import ImmediateSnapshot
+
+#: Published output key carrying the list of per-round views.
+VIEWS = "views"
+#: Published output key carrying the final view after the last round.
+FINAL_VIEW = "final_view"
+
+
+class IteratedImmediateSnapshotAutomaton(ProcessAutomaton):
+    """A process running ``rounds`` IIS rounds, starting from ``input_value``.
+
+    After round ``r`` the process's state is its view (a mapping from process
+    id to that process's round-``r`` state); the automaton publishes the list
+    of views and halts after the final round.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        rounds: int,
+        input_value: Any,
+        namespace: str = "iis",
+    ) -> None:
+        super().__init__(pid, n)
+        if rounds < 1:
+            raise ConfigurationError("the IIS automaton needs at least one round")
+        self.rounds = rounds
+        self.input_value = input_value
+        self.namespace = namespace
+
+    def views(self) -> List[Dict[ProcessId, Any]]:
+        """The per-round views published so far."""
+        return list(self.output(VIEWS, []))
+
+    def program(self, ctx: ProcessContext) -> Program:
+        state: Any = self.input_value
+        views: List[Dict[ProcessId, Any]] = []
+        for round_number in range(1, self.rounds + 1):
+            snapshot_object = ImmediateSnapshot(name=(self.namespace, round_number), n=self.n)
+            view = yield from snapshot_object.write_and_snapshot(self.pid, state)
+            views.append(dict(view))
+            self.publish(VIEWS, [dict(v) for v in views])
+            state = dict(view)
+        self.publish(FINAL_VIEW, dict(views[-1]))
+        return views[-1]
+
+
+def phase_shifted_round_schedule(
+    n: int,
+    rounds: int,
+    shifted: ProcessId,
+    steps_per_round: Optional[int] = None,
+) -> Schedule:
+    """A schedule where ``shifted`` is step-timely yet invisible in IIS views.
+
+    The schedule is organized in per-round chunks.  In each chunk, all other
+    processes first take enough steps to finish their current IIS round (their
+    collects therefore cannot contain ``shifted``, which has not written that
+    round's register yet); then ``shifted`` takes the ``n + 1`` steps its own
+    round needs (arriving last, it returns at the top level after one write
+    and one collect).  Every process takes a number of steps bounded by a
+    constant per chunk, so ``shifted`` is timely with respect to everyone with
+    a constant bound — it merely "starts each round a few steps later", which
+    is precisely the paper's remark.
+
+    ``steps_per_round`` is the per-chunk step allowance of each *other*
+    process; it defaults to the worst case of one immediate-snapshot
+    participation (``n`` levels of ``n + 1`` steps each).
+    """
+    if not 1 <= shifted <= n:
+        raise ConfigurationError(f"shifted process {shifted} outside Πn = {{1..{n}}}")
+    if n < 2:
+        raise ConfigurationError("the phase-shift construction needs at least two processes")
+    per_round = steps_per_round if steps_per_round is not None else n * (n + 1)
+    builder = ScheduleBuilder(n)
+    others = [pid for pid in range(1, n + 1) if pid != shifted]
+    for _ in range(rounds):
+        for _ in range(per_round):
+            builder.extend(others)
+        builder.repeat_block([shifted], n + 1)
+    # Epilogue: a few extra steps for the shifted process so it can finish the
+    # local bookkeeping of its last round (the others have already halted, so
+    # these steps cannot make it visible to anyone).
+    builder.repeat_block([shifted], n + 1)
+    return builder.build()

@@ -1,0 +1,17 @@
+"""Shared-memory substrate: atomic registers, collects, and atomic snapshots."""
+
+from .collect import collect, collect_keys, store, write_keys
+from .registers import Register, RegisterFile, RegisterName
+from .snapshot import AtomicSnapshot, SnapshotCell
+
+__all__ = [
+    "collect",
+    "collect_keys",
+    "store",
+    "write_keys",
+    "Register",
+    "RegisterFile",
+    "RegisterName",
+    "AtomicSnapshot",
+    "SnapshotCell",
+]

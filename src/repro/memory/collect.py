@@ -1,0 +1,60 @@
+"""Store-collect: the simplest aggregation primitive over per-process registers.
+
+A *collect* reads one register per process and returns the resulting vector.
+It is not atomic (the values may come from different points in time), but it
+is the workhorse of most shared-memory algorithms — the Figure 2 algorithm's
+lines 2 and 8–9 are collects over ``Counter[·, q]`` and ``Heartbeat[q]``.
+
+The helpers here are generator *subroutines*: they are meant to be invoked
+with ``yield from`` inside a :class:`~repro.runtime.automaton.ProcessAutomaton`
+program, cost exactly one simulator step per register touched, and deliver
+their result through the generator ``return`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..types import ProcessId
+
+
+def store(prefix: Hashable, pid: ProcessId, value: Any) -> Program:
+    """Write ``value`` into the calling process's component ``(prefix, pid)``.
+
+    One simulator step.
+    """
+    yield WriteOp((prefix, pid), value)
+    return None
+
+
+def collect(prefix: Hashable, processes: Iterable[ProcessId]) -> Program:
+    """Read ``(prefix, q)`` for every ``q`` and return ``{q: value}``.
+
+    ``len(processes)`` simulator steps, read in ascending process-id order so
+    runs are deterministic for a given schedule.
+    """
+    values: Dict[ProcessId, Any] = {}
+    for q in sorted(set(int(p) for p in processes)):
+        values[q] = yield ReadOp((prefix, q))
+    return values
+
+
+def collect_keys(keys: Sequence[Hashable]) -> Program:
+    """Read an arbitrary list of register names and return ``{name: value}``.
+
+    Used by algorithms whose register families are not indexed by a single
+    process id (e.g. ``Counter[A, q]`` in Figure 2, indexed by a k-set and a
+    process).  One step per key, in the order given.
+    """
+    values: Dict[Hashable, Any] = {}
+    for key in keys:
+        values[key] = yield ReadOp(key)
+    return values
+
+
+def write_keys(assignments: Sequence[Tuple[Hashable, Any]]) -> Program:
+    """Write a list of ``(register name, value)`` pairs, one step per write."""
+    for key, value in assignments:
+        yield WriteOp(key, value)
+    return None

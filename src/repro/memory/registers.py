@@ -1,0 +1,177 @@
+"""Atomic read/write shared registers — the paper's communication substrate Ξ.
+
+The paper's system model is a read/write shared-memory system: in each step a
+process reads or writes one shared register and changes state.  This module
+provides the register file used by the simulator:
+
+* :class:`Register` — one atomic multi-reader register, optionally restricted
+  to a single writer (the paper's algorithms only ever use single-writer
+  registers such as ``Heartbeat[p]`` and ``Counter[A, p]``, and single-writer
+  discipline catches a whole class of algorithm bugs, so the restriction is on
+  by default for owned registers).
+* :class:`RegisterFile` — a namespace of registers addressed by arbitrary
+  hashable names.  Registers are created lazily with an initial value, which
+  mirrors the paper's "possibly infinite set Ξ of shared registers".
+
+Atomicity is trivially guaranteed because the simulator executes exactly one
+register operation per scheduled step; the classes below only enforce the
+access discipline and record operation counts for the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
+
+from ..errors import RegisterError
+from ..types import ProcessId
+
+#: Register names can be any hashable value; algorithms typically use tuples
+#: such as ``("Heartbeat", p)`` or ``("Counter", A, q)``.
+RegisterName = Hashable
+
+
+@dataclass
+class Register:
+    """One atomic shared register.
+
+    Attributes
+    ----------
+    name:
+        The register's name within its :class:`RegisterFile`.
+    value:
+        Current value.  Any Python object is allowed; algorithms in this
+        library only store immutable values (ints, tuples, frozensets).
+    writer:
+        When not ``None``, only this process id may write the register
+        (single-writer multi-reader discipline).
+    write_count / read_count:
+        Operation counters used by the analysis layer and by the substrate
+        microbenchmarks (experiment A3).
+    """
+
+    name: RegisterName
+    value: Any = None
+    writer: Optional[ProcessId] = None
+    write_count: int = 0
+    read_count: int = 0
+
+    def read(self, reader: Optional[ProcessId] = None) -> Any:
+        """Atomically read the register's current value."""
+        self.read_count += 1
+        return self.value
+
+    def write(self, value: Any, writer: Optional[ProcessId] = None) -> None:
+        """Atomically write ``value``; enforces single-writer discipline if set."""
+        if self.writer is not None and writer is not None and writer != self.writer:
+            raise RegisterError(
+                f"register {self.name!r} is owned by process {self.writer}; "
+                f"process {writer} attempted to write it"
+            )
+        self.write_count += 1
+        self.value = value
+
+
+class RegisterFile:
+    """A lazily populated namespace of atomic registers.
+
+    The file serves as the simulator's single source of truth for shared
+    state.  Registers spring into existence on first access with the initial
+    value registered via :meth:`declare` (or ``None`` when undeclared), which
+    keeps algorithm code close to the paper's pseudocode where the shared
+    registers are declared with initial values up front.
+    """
+
+    def __init__(self) -> None:
+        self._registers: Dict[RegisterName, Register] = {}
+        self._defaults: Dict[RegisterName, Any] = {}
+        self._owners: Dict[RegisterName, ProcessId] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def declare(
+        self,
+        name: RegisterName,
+        initial: Any = None,
+        writer: Optional[ProcessId] = None,
+    ) -> None:
+        """Declare a register with an initial value and optional owner.
+
+        Declaring an already-existing register re-initializes it, which is how
+        tests reset shared state between independent runs.
+        """
+        self._defaults[name] = initial
+        if writer is not None:
+            self._owners[name] = writer
+        self._registers[name] = Register(name=name, value=initial, writer=writer)
+
+    def declare_array(
+        self,
+        prefix: str,
+        indices: Iterator[Hashable] | Tuple[Hashable, ...],
+        initial: Any = None,
+        owner_from_index: bool = False,
+    ) -> None:
+        """Declare a family of registers ``(prefix, index)`` with a shared initial value.
+
+        When ``owner_from_index`` is true each index is interpreted as the
+        owning process id (used for per-process registers like ``Heartbeat[p]``).
+        """
+        for index in indices:
+            writer = index if owner_from_index and isinstance(index, int) else None
+            self.declare((prefix, index), initial=initial, writer=writer)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _get(self, name: RegisterName) -> Register:
+        register = self._registers.get(name)
+        if register is None:
+            register = Register(
+                name=name,
+                value=self._defaults.get(name),
+                writer=self._owners.get(name),
+            )
+            self._registers[name] = register
+        return register
+
+    def read(self, name: RegisterName, reader: Optional[ProcessId] = None) -> Any:
+        """Atomically read register ``name``."""
+        return self._get(name).read(reader)
+
+    def write(self, name: RegisterName, value: Any, writer: Optional[ProcessId] = None) -> None:
+        """Atomically write register ``name``."""
+        self._get(name).write(value, writer)
+
+    def peek(self, name: RegisterName) -> Any:
+        """Read without counting the access (for assertions and reporting only)."""
+        return self._get(name).value
+
+    def exists(self, name: RegisterName) -> bool:
+        """Whether the register has been declared or touched."""
+        return name in self._registers
+
+    def names(self) -> Tuple[RegisterName, ...]:
+        """All register names that exist so far (declaration or access order)."""
+        return tuple(self._registers.keys())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_reads(self) -> int:
+        """Total number of read operations across all registers."""
+        return sum(r.read_count for r in self._registers.values())
+
+    def total_writes(self) -> int:
+        """Total number of write operations across all registers."""
+        return sum(r.write_count for r in self._registers.values())
+
+    def snapshot_values(self) -> Dict[RegisterName, Any]:
+        """A plain dict copy of every register's current value.
+
+        This is *not* an atomic-snapshot object (see :mod:`repro.memory.snapshot`
+        for that); it is a debugging/inspection convenience used to capture
+        configurations between steps, where atomicity is trivially available.
+        """
+        return {name: register.value for name, register in self._registers.items()}

@@ -1,0 +1,139 @@
+"""Atomic snapshots built from read/write registers (double collect).
+
+Several substrates (the IIS rounds of Section 6's related work, the BG
+simulation's bookkeeping) are most naturally written against an *atomic
+snapshot* object: processes ``update`` their own component and ``scan`` the
+whole array, and scans are linearizable.
+
+We implement the classic bounded-free construction by Afek et al.: each
+``update`` writes the value together with a per-writer sequence number and the
+writer's most recent scan (its "view"); a ``scan`` repeatedly performs double
+collects until either two successive collects are identical (a *clean* double
+collect — the common case under low contention) or some writer is seen to have
+moved twice, in which case that writer's embedded view — taken entirely inside
+the scanner's interval — is borrowed.
+
+The snapshot is expressed as generator subroutines (``yield from``-able from a
+process automaton), so every register access is one simulator step and the
+interleaving is fully controlled by the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
+
+from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..types import ProcessId
+
+
+@dataclass(frozen=True)
+class SnapshotCell:
+    """The content of one component of the snapshot array.
+
+    ``sequence`` increases with every update by the owner; ``view`` is the
+    owner's most recent scan result (or ``None`` before its first scan), used
+    by concurrent scanners to linearize when they cannot obtain a clean double
+    collect.
+    """
+
+    value: Any
+    sequence: int
+    view: Optional[Tuple[Tuple[ProcessId, Any], ...]]
+
+
+class AtomicSnapshot:
+    """A named single-writer atomic snapshot object over a set of processes.
+
+    Parameters
+    ----------
+    name:
+        Register-name prefix; the object uses registers ``(name, q)``.
+    processes:
+        The component owners (usually ``1..n``).
+    """
+
+    def __init__(self, name: Hashable, processes: Iterable[ProcessId]) -> None:
+        self.name = name
+        self.processes = tuple(sorted(set(int(p) for p in processes)))
+        if not self.processes:
+            raise ValueError("an atomic snapshot needs at least one component")
+
+    # ------------------------------------------------------------------
+    def _register(self, q: ProcessId) -> Hashable:
+        return (self.name, q)
+
+    def _collect(self) -> Program:
+        cells: Dict[ProcessId, Optional[SnapshotCell]] = {}
+        for q in self.processes:
+            cells[q] = yield ReadOp(self._register(q))
+        return cells
+
+    @staticmethod
+    def _values(cells: Dict[ProcessId, Optional[SnapshotCell]]) -> Dict[ProcessId, Any]:
+        return {q: (cell.value if cell is not None else None) for q, cell in cells.items()}
+
+    # ------------------------------------------------------------------
+    def update(self, pid: ProcessId, value: Any) -> Program:
+        """Write ``value`` into component ``pid``.
+
+        Performs an embedded scan first so the written cell carries a view for
+        concurrent scanners (the standard construction), then a single write.
+        """
+        view = yield from self.scan(pid)
+        current: Optional[SnapshotCell] = yield ReadOp(self._register(pid))
+        sequence = current.sequence + 1 if current is not None else 1
+        cell = SnapshotCell(value=value, sequence=sequence, view=tuple(sorted(view.items())))
+        yield WriteOp(self._register(pid), cell)
+        return None
+
+    def update_fast(self, pid: ProcessId, value: Any) -> Program:
+        """Write without the embedded scan.
+
+        Cheaper (2 steps) but scans concurrent with many such updates may have
+        to retry more; still linearizable because a scanner only borrows a view
+        from a cell that has one.  Used by performance-oriented substrates and
+        by the A3 microbenchmarks to quantify the trade-off.
+        """
+        current: Optional[SnapshotCell] = yield ReadOp(self._register(pid))
+        sequence = current.sequence + 1 if current is not None else 1
+        view = current.view if current is not None else None
+        yield WriteOp(self._register(pid), SnapshotCell(value=value, sequence=sequence, view=view))
+        return None
+
+    def scan(self, pid: ProcessId) -> Program:
+        """Return a linearizable view ``{q: value}`` of all components.
+
+        Repeats double collects; if a clean double collect never happens,
+        borrows the embedded view of a writer observed to move twice.
+        """
+        moved: Dict[ProcessId, int] = {}
+        previous: Optional[Dict[ProcessId, Optional[SnapshotCell]]] = None
+        while True:
+            first = previous if previous is not None else (yield from self._collect())
+            second = yield from self._collect()
+            if self._same(first, second):
+                return self._values(second)
+            for q in self.processes:
+                if not self._cell_same(first.get(q), second.get(q)):
+                    moved[q] = moved.get(q, 0) + 1
+                    cell = second.get(q)
+                    if moved[q] >= 2 and cell is not None and cell.view is not None:
+                        return dict(cell.view)
+            previous = second
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cell_same(a: Optional[SnapshotCell], b: Optional[SnapshotCell]) -> bool:
+        if a is None and b is None:
+            return True
+        if a is None or b is None:
+            return False
+        return a.sequence == b.sequence
+
+    def _same(
+        self,
+        first: Dict[ProcessId, Optional[SnapshotCell]],
+        second: Dict[ProcessId, Optional[SnapshotCell]],
+    ) -> bool:
+        return all(self._cell_same(first.get(q), second.get(q)) for q in self.processes)

@@ -1,0 +1,32 @@
+"""Runtime: process automata, the step-level simulator, crash patterns, composition."""
+
+from .automaton import (
+    FunctionAutomaton,
+    IdleAutomaton,
+    ProcessAutomaton,
+    ProcessContext,
+    Program,
+    ReadOp,
+    WriteOp,
+    validate_operation,
+)
+from .composition import ComposedAutomaton, compose
+from .crash import CrashPattern
+from .simulator import RunResult, Simulator, build_simulator
+
+__all__ = [
+    "FunctionAutomaton",
+    "IdleAutomaton",
+    "ProcessAutomaton",
+    "ProcessContext",
+    "Program",
+    "ReadOp",
+    "WriteOp",
+    "validate_operation",
+    "ComposedAutomaton",
+    "compose",
+    "CrashPattern",
+    "RunResult",
+    "Simulator",
+    "build_simulator",
+]

@@ -1,0 +1,180 @@
+"""Process automata: algorithms expressed as one-operation-per-step generators.
+
+Section 2.3 of the paper: an algorithm consists of ``n`` deterministic
+automata; in each step a process reads or writes one shared register and
+changes state.  We express an automaton as a Python generator that *yields*
+shared-memory operations and receives the operation's result back:
+
+.. code-block:: python
+
+    class MyProcess(ProcessAutomaton):
+        def program(self, ctx):
+            heartbeat = yield ReadOp(("Heartbeat", 2))
+            yield WriteOp(("Flag", self.pid), heartbeat + 1)
+
+Exactly one ``yield`` corresponds to one step of the paper's model, so the
+schedule that drives the simulator decides the interleaving at the granularity
+the proofs reason about.  Local computation between yields is free, matching
+the model (only shared-memory accesses are steps).
+
+Helper subroutines are ordinary generators used with ``yield from``; their
+``return`` value is delivered to the caller, which keeps multi-operation
+patterns (collects, snapshots, adopt-commit) readable while preserving the
+one-op-per-step discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Hashable, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..types import ProcessId
+
+#: Register names are arbitrary hashable values (see :mod:`repro.memory.registers`).
+#: Re-declared here (rather than imported) to keep the runtime package free of
+#: import cycles with the memory package.
+RegisterName = Hashable
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read the register with the given name; the step's result is its value."""
+
+    register: RegisterName
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` to the register with the given name; the result is ``None``."""
+
+    register: RegisterName
+    value: Any
+
+
+#: A shared-memory operation (one per step).
+Operation = "ReadOp | WriteOp"
+
+#: The generator type implementing a process's program: yields operations,
+#: receives results, may ``return`` a final value when it halts.
+Program = Generator[Any, Any, Any]
+
+
+@dataclass
+class ProcessContext:
+    """Per-process execution context handed to :meth:`ProcessAutomaton.program`.
+
+    Attributes
+    ----------
+    pid:
+        The process's id in ``Πn``.
+    n:
+        Number of processes in the system.
+    params:
+        Free-form algorithm parameters (e.g. ``t`` and ``k`` for Figure 2).
+    """
+
+    pid: ProcessId
+    n: int
+    params: Dict[str, Any]
+
+    @property
+    def processes(self) -> List[ProcessId]:
+        """All process ids ``1..n`` in ascending order."""
+        return list(range(1, self.n + 1))
+
+
+class ProcessAutomaton:
+    """Base class for the automaton run by one process.
+
+    Subclasses implement :meth:`program` as a generator.  The automaton also
+    exposes an ``outputs`` dictionary: algorithms publish their externally
+    observable local variables there (e.g. the failure-detector output
+    ``fdOutput`` or an agreement ``decision``), and the analysis layer samples
+    it after every step.  Outputs are local state, not shared memory — reading
+    them costs no step, exactly like reading ``fdOutputp`` in the paper.
+    """
+
+    def __init__(self, pid: ProcessId, n: int, **params: Any) -> None:
+        if not 1 <= pid <= n:
+            raise SimulationError(f"process id {pid} outside Πn = {{1..{n}}}")
+        self.pid = pid
+        self.n = n
+        self.params: Dict[str, Any] = dict(params)
+        self.outputs: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def context(self) -> ProcessContext:
+        """Build the context object passed to :meth:`program`."""
+        return ProcessContext(pid=self.pid, n=self.n, params=dict(self.params))
+
+    def program(self, ctx: ProcessContext) -> Program:
+        """The process's program.  Subclasses must override.
+
+        Must be a generator yielding :class:`ReadOp`/:class:`WriteOp` values.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the override a generator template
+
+    # ------------------------------------------------------------------
+    def publish(self, key: str, value: Any) -> None:
+        """Publish an observable local variable (no shared-memory step)."""
+        self.outputs[key] = value
+
+    def output(self, key: str, default: Any = None) -> Any:
+        """Read back a published local variable."""
+        return self.outputs.get(key, default)
+
+    def describe(self) -> str:
+        """Short human-readable identification used in reports."""
+        return f"{self.__class__.__name__}(pid={self.pid})"
+
+
+class FunctionAutomaton(ProcessAutomaton):
+    """Adapter turning a plain generator function into a :class:`ProcessAutomaton`.
+
+    The function receives ``(automaton, ctx)`` so it can publish outputs; this
+    is the lightest way to write small test programs and example workloads.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        function: Callable[["FunctionAutomaton", ProcessContext], Program],
+        **params: Any,
+    ) -> None:
+        super().__init__(pid, n, **params)
+        self._function = function
+
+    def program(self, ctx: ProcessContext) -> Program:
+        return self._function(self, ctx)
+
+
+class IdleAutomaton(ProcessAutomaton):
+    """An automaton that takes harmless steps forever (writes to a scratch register).
+
+    Used to model processes that exist in ``Πn`` but run no interesting code —
+    for example the fictitious processes of Theorem 27(2b)'s construction, or
+    filler processes in adversary experiments.
+    """
+
+    def program(self, ctx: ProcessContext) -> Program:
+        count = 0
+        while True:
+            count += 1
+            yield WriteOp(("idle-scratch", self.pid), count)
+
+
+def validate_operation(op: Any) -> "ReadOp | WriteOp":
+    """Check that a yielded object is a shared-memory operation.
+
+    The simulator calls this on every yield so that an algorithm bug (yielding
+    a bare value, a coroutine, ...) fails loudly at the offending step.
+    """
+    if isinstance(op, (ReadOp, WriteOp)):
+        return op
+    raise SimulationError(
+        f"automaton yielded {op!r}, which is not a ReadOp or WriteOp; "
+        "every yield must be exactly one shared-memory operation"
+    )

@@ -1,0 +1,118 @@
+"""Composing several sub-automata inside one process.
+
+Higher layers frequently need a process to run two algorithms "at the same
+time": the agreement layer of Section 4.3 queries the failure detector of
+Section 4.2 while executing its own protocol.  In the paper's model both are
+part of the single deterministic automaton of that process.
+
+:class:`ComposedAutomaton` realizes this by interleaving the sub-programs
+round-robin: each scheduled step of the process advances exactly one
+sub-program by one shared-memory operation, rotating through the sub-programs.
+This preserves the one-operation-per-step discipline and multiplies every
+timeliness bound by at most the number of sub-programs — a constant factor,
+which is exactly the argument Lemma 9 makes about loop iterations having a
+bounded number of steps.
+
+Sub-programs that halt (their generator returns) simply drop out of the
+rotation; when all halt, the composed automaton halts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..types import ProcessId
+from .automaton import ProcessAutomaton, ProcessContext, Program
+
+
+class ComposedAutomaton(ProcessAutomaton):
+    """Round-robin interleaving of several sub-automata within one process.
+
+    Parameters
+    ----------
+    pid, n:
+        Process identity.
+    components:
+        Named sub-automata, instantiated for the same ``pid``.  Their published
+        outputs are re-exported by the composition under
+        ``"<component name>.<key>"`` as well as the bare key (later components
+        win bare-key collisions), so observers keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        components: Sequence[Tuple[str, ProcessAutomaton]],
+        **params: Any,
+    ) -> None:
+        super().__init__(pid, n, **params)
+        if not components:
+            raise SimulationError("a composed automaton needs at least one component")
+        for name, component in components:
+            if component.pid != pid or component.n != n:
+                raise SimulationError(
+                    f"component {name!r} was built for process {component.pid}/{component.n}, "
+                    f"expected {pid}/{n}"
+                )
+        self._components: List[Tuple[str, ProcessAutomaton]] = list(components)
+
+    # ------------------------------------------------------------------
+    def component(self, name: str) -> ProcessAutomaton:
+        """Access a sub-automaton by its name."""
+        for component_name, component in self._components:
+            if component_name == name:
+                return component
+        raise SimulationError(f"no component named {name!r}")
+
+    def _sync_outputs(self) -> None:
+        for name, component in self._components:
+            for key, value in component.outputs.items():
+                self.outputs[f"{name}.{key}"] = value
+                self.outputs[key] = value
+
+    # ------------------------------------------------------------------
+    def program(self, ctx: ProcessContext) -> Program:
+        active: List[Tuple[str, ProcessAutomaton, Program]] = []
+        for name, component in self._components:
+            active.append((name, component, component.program(component.context())))
+
+        pending: Dict[str, Any] = {name: None for name, _, _ in active}
+        started: Dict[str, bool] = {name: False for name, _, _ in active}
+
+        while active:
+            still_active: List[Tuple[str, ProcessAutomaton, Program]] = []
+            for name, component, generator in active:
+                try:
+                    if not started[name]:
+                        started[name] = True
+                        op = generator.send(None)
+                    else:
+                        op = generator.send(pending[name])
+                except StopIteration:
+                    self._sync_outputs()
+                    continue
+                # Publishes made by the component while computing this
+                # operation must be visible as soon as the operation's step
+                # executes, so sync both before and after the yield.
+                self._sync_outputs()
+                result = yield op
+                pending[name] = result
+                self._sync_outputs()
+                still_active.append((name, component, generator))
+            active = still_active
+        return None
+
+
+def compose(
+    pid: ProcessId,
+    n: int,
+    **components: ProcessAutomaton,
+) -> ComposedAutomaton:
+    """Keyword-argument convenience for :class:`ComposedAutomaton`.
+
+    Example: ``compose(pid, n, detector=fd_automaton, agreement=protocol)``.
+    Iteration order of the keyword arguments fixes the round-robin order.
+    """
+    return ComposedAutomaton(pid=pid, n=n, components=list(components.items()))

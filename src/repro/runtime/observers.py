@@ -1,0 +1,104 @@
+"""Run observers: non-intrusive instrumentation of simulator executions.
+
+Observers attach to a :class:`~repro.runtime.simulator.Simulator` and sample
+process *outputs* (published local variables) after every step.  They never
+touch shared memory, so the observed run is exactly the run that would have
+happened without them — which matters when the experiment's point is to
+measure stabilization times of the unmodified paper algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..types import ProcessId
+
+
+@dataclass(frozen=True)
+class OutputChange:
+    """One recorded change of a published output.
+
+    ``step`` is the global step index at which the change became visible,
+    ``pid`` the process whose output changed, and ``value`` the new value.
+    """
+
+    step: int
+    pid: ProcessId
+    value: Any
+
+
+@dataclass
+class OutputTracker:
+    """Records every change of one published output key across all processes.
+
+    Use as ``simulator.add_observer(tracker)``; the tracker implements the
+    observer call signature directly.  Only *changes* are stored, so long runs
+    with stable outputs stay cheap to record and to analyse.
+    """
+
+    key: str
+    changes: List[OutputChange] = field(default_factory=list)
+    _last_seen: Dict[ProcessId, Any] = field(default_factory=dict)
+
+    def __call__(self, step: int, pid: ProcessId, simulator: "Any") -> None:
+        value = simulator.output_of(pid, self.key)
+        if pid in self._last_seen and self._last_seen[pid] == value:
+            return
+        self._last_seen[pid] = value
+        self.changes.append(OutputChange(step=step, pid=pid, value=value))
+
+    # ------------------------------------------------------------------
+    def history_of(self, pid: ProcessId) -> List[OutputChange]:
+        """All recorded changes of the tracked output for one process."""
+        return [change for change in self.changes if change.pid == pid]
+
+    def value_at(self, pid: ProcessId, step: int) -> Any:
+        """The tracked output of ``pid`` as of (global) step ``step``."""
+        value: Any = None
+        for change in self.changes:
+            if change.pid != pid:
+                continue
+            if change.step > step:
+                break
+            value = change.value
+        return value
+
+    def final_value(self, pid: ProcessId) -> Any:
+        """The last recorded value of the tracked output for ``pid``."""
+        value: Any = None
+        for change in self.changes:
+            if change.pid == pid:
+                value = change.value
+        return value
+
+    def final_values(self) -> Dict[ProcessId, Any]:
+        """Final recorded value per process (processes never seen are absent)."""
+        values: Dict[ProcessId, Any] = {}
+        for change in self.changes:
+            values[change.pid] = change.value
+        return values
+
+    def last_change_step(self, pid: Optional[ProcessId] = None) -> Optional[int]:
+        """Step of the last change (for one process, or overall when ``pid`` is None)."""
+        last: Optional[int] = None
+        for change in self.changes:
+            if pid is not None and change.pid != pid:
+                continue
+            last = change.step
+        return last
+
+    def stabilization_step(self, pids: Optional[List[ProcessId]] = None) -> Optional[int]:
+        """First step after which none of the given processes changes again.
+
+        ``None`` when no change was ever recorded for them.  With ``pids``
+        omitted, considers every process that ever changed.
+        """
+        relevant = [
+            change
+            for change in self.changes
+            if pids is None or change.pid in pids
+        ]
+        if not relevant:
+            return None
+        return max(change.step for change in relevant)

@@ -1,0 +1,293 @@
+"""The discrete-event shared-memory simulator that executes runs.
+
+A *run* in the paper is ``(I, S, A)``: an initial configuration, a schedule
+and an algorithm.  The simulator reproduces this literally: it owns the
+register file (the configuration of Ξ), one :class:`ProcessAutomaton` per
+process (the configuration of the processes), and consumes a schedule —
+finite, or an unbounded iterator — advancing the scheduled process by exactly
+one shared-memory operation per step.
+
+Instrumentation: observers can be attached to sample process outputs after
+each step; the analysis layer uses this to measure stabilization times of
+failure-detector outputs and decision steps of agreement algorithms without
+perturbing the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.schedule import InfiniteSchedule, Schedule
+from ..errors import SimulationError
+from ..memory.registers import RegisterFile
+from ..types import ProcessId
+from .automaton import ProcessAutomaton, Program, ReadOp, WriteOp, validate_operation
+
+#: Anything the simulator can consume as a step source.
+ScheduleSource = Union[Schedule, InfiniteSchedule, Iterable[ProcessId]]
+
+#: Observer signature: (step_index, pid, simulator) -> None, called after the step.
+Observer = Callable[[int, ProcessId, "Simulator"], None]
+
+#: Stop predicate signature: (step_index, simulator) -> bool, checked after each step.
+StopCondition = Callable[[int, "Simulator"], bool]
+
+
+@dataclass
+class ProcessState:
+    """Book-keeping for one process inside the simulator."""
+
+    automaton: ProcessAutomaton
+    generator: Optional[Program] = None
+    started: bool = False
+    halted: bool = False
+    halt_value: Any = None
+    steps_taken: int = 0
+    pending_result: Any = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving the simulator over (a prefix of) a schedule.
+
+    Attributes
+    ----------
+    executed_schedule:
+        The schedule prefix that was actually executed (useful when a stop
+        condition cut the run short).
+    steps_executed:
+        Number of steps executed.
+    stopped_early:
+        True when a stop condition ended the run before the step budget.
+    halted_processes:
+        Processes whose program returned (halted voluntarily).
+    outputs:
+        Final published outputs of every process (``pid -> dict``).
+    """
+
+    executed_schedule: Schedule
+    steps_executed: int
+    stopped_early: bool
+    halted_processes: List[ProcessId]
+    outputs: Dict[ProcessId, Dict[str, Any]]
+
+
+class Simulator:
+    """Executes an algorithm (a set of automata) under a schedule.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    automata:
+        Mapping from process id to its automaton.  Every process in ``1..n``
+        must be present; the paper's model has no "absent" processes, only
+        processes that the schedule never picks.
+    registers:
+        Optional pre-populated register file (initial configuration of Ξ).
+    strict:
+        When true, scheduling a process whose program already returned raises
+        :class:`SimulationError`; when false (default) such steps are recorded
+        as no-ops, which matches the common convention that a decided process
+        keeps taking skip steps.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        automata: Dict[ProcessId, ProcessAutomaton],
+        registers: Optional[RegisterFile] = None,
+        strict: bool = False,
+    ) -> None:
+        if n < 1:
+            raise SimulationError(f"simulator needs n >= 1 processes, got {n}")
+        missing = [p for p in range(1, n + 1) if p not in automata]
+        if missing:
+            raise SimulationError(f"missing automata for processes {missing}")
+        extra = [p for p in automata if not 1 <= p <= n]
+        if extra:
+            raise SimulationError(f"automata supplied for unknown processes {extra}")
+        self.n = n
+        self.registers = registers if registers is not None else RegisterFile()
+        self.strict = strict
+        self._states: Dict[ProcessId, ProcessState] = {
+            pid: ProcessState(automaton=automaton) for pid, automaton in automata.items()
+        }
+        self._observers: List[Observer] = []
+        self._trace: List[ProcessId] = []
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def step_index(self) -> int:
+        """Number of steps executed so far across all ``run`` calls."""
+        return self._step_index
+
+    def automaton(self, pid: ProcessId) -> ProcessAutomaton:
+        """The automaton of process ``pid``."""
+        return self._state(pid).automaton
+
+    def output_of(self, pid: ProcessId, key: str, default: Any = None) -> Any:
+        """Published output ``key`` of process ``pid`` (no step cost)."""
+        return self._state(pid).automaton.output(key, default)
+
+    def outputs(self, key: str) -> Dict[ProcessId, Any]:
+        """The published output ``key`` of every process."""
+        return {pid: state.automaton.output(key) for pid, state in self._states.items()}
+
+    def steps_taken(self, pid: ProcessId) -> int:
+        """Number of steps process ``pid`` has executed."""
+        return self._state(pid).steps_taken
+
+    def halted(self, pid: ProcessId) -> bool:
+        """Whether process ``pid``'s program returned."""
+        return self._state(pid).halted
+
+    def halted_processes(self) -> List[ProcessId]:
+        """All processes whose programs have returned, in id order."""
+        return sorted(pid for pid, state in self._states.items() if state.halted)
+
+    def trace(self) -> Schedule:
+        """The schedule actually executed so far (all ``run`` calls concatenated)."""
+        return Schedule(steps=tuple(self._trace), n=self.n)
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach an observer called after every executed step."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, pid: ProcessId) -> None:
+        """Execute one step of process ``pid`` (one shared-memory operation)."""
+        state = self._state(pid)
+        if state.halted:
+            if self.strict:
+                raise SimulationError(
+                    f"process {pid} was scheduled after its program returned"
+                )
+            self._record_step(pid, state)
+            return
+        if not state.started:
+            automaton = state.automaton
+            state.generator = automaton.program(automaton.context())
+            state.started = True
+            try:
+                op = state.generator.send(None)
+            except StopIteration as stop:
+                self._halt(state, stop)
+                self._record_step(pid, state)
+                return
+        else:
+            assert state.generator is not None
+            try:
+                op = state.generator.send(state.pending_result)
+            except StopIteration as stop:
+                self._halt(state, stop)
+                self._record_step(pid, state)
+                return
+        operation = validate_operation(op)
+        if isinstance(operation, ReadOp):
+            state.pending_result = self.registers.read(operation.register, reader=pid)
+        else:
+            self.registers.write(operation.register, operation.value, writer=pid)
+            state.pending_result = None
+        self._record_step(pid, state)
+
+    def run(
+        self,
+        schedule: ScheduleSource,
+        max_steps: Optional[int] = None,
+        stop_condition: Optional[StopCondition] = None,
+    ) -> RunResult:
+        """Drive the simulator over a schedule.
+
+        Parameters
+        ----------
+        schedule:
+            A finite :class:`Schedule`, an :class:`InfiniteSchedule`, or any
+            iterable of process ids.
+        max_steps:
+            Step budget.  Mandatory for unbounded sources; optional for finite
+            schedules (defaults to their length).
+        stop_condition:
+            Checked after every step; when it returns true the run stops early.
+
+        Returns a :class:`RunResult` describing what was executed.
+        """
+        step_iter, budget = self._normalize_source(schedule, max_steps)
+        executed: List[ProcessId] = []
+        stopped_early = False
+        for count, pid in enumerate(step_iter):
+            if count >= budget:
+                break
+            self.step(pid)
+            executed.append(pid)
+            if stop_condition is not None and stop_condition(self._step_index, self):
+                stopped_early = True
+                break
+        return RunResult(
+            executed_schedule=Schedule(steps=tuple(executed), n=self.n),
+            steps_executed=len(executed),
+            stopped_early=stopped_early,
+            halted_processes=self.halted_processes(),
+            outputs={pid: dict(state.automaton.outputs) for pid, state in self._states.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _state(self, pid: ProcessId) -> ProcessState:
+        state = self._states.get(pid)
+        if state is None:
+            raise SimulationError(f"unknown process id {pid}")
+        return state
+
+    def _halt(self, state: ProcessState, stop: StopIteration) -> None:
+        state.halted = True
+        state.generator = None
+        state.halt_value = stop.value
+
+    def _record_step(self, pid: ProcessId, state: ProcessState) -> None:
+        state.steps_taken += 1
+        self._trace.append(pid)
+        self._step_index += 1
+        for observer in self._observers:
+            observer(self._step_index, pid, self)
+
+    def _normalize_source(
+        self, schedule: ScheduleSource, max_steps: Optional[int]
+    ) -> "tuple[Iterator[ProcessId], int]":
+        if isinstance(schedule, Schedule):
+            if schedule.n != self.n:
+                raise SimulationError(
+                    f"schedule over Π{schedule.n} cannot drive a simulator over Π{self.n}"
+                )
+            budget = len(schedule) if max_steps is None else min(max_steps, len(schedule))
+            return iter(schedule.steps), budget
+        if isinstance(schedule, InfiniteSchedule):
+            if schedule.n != self.n:
+                raise SimulationError(
+                    f"schedule over Π{schedule.n} cannot drive a simulator over Π{self.n}"
+                )
+            if max_steps is None:
+                raise SimulationError("an unbounded schedule needs an explicit max_steps")
+            return schedule.iter_steps(), max_steps
+        if max_steps is None:
+            materialized = list(schedule)
+            return iter(materialized), len(materialized)
+        return iter(schedule), max_steps
+
+
+def build_simulator(
+    n: int,
+    automaton_factory: Callable[[ProcessId], ProcessAutomaton],
+    registers: Optional[RegisterFile] = None,
+    strict: bool = False,
+) -> Simulator:
+    """Convenience constructor: build one automaton per process from a factory."""
+    automata = {pid: automaton_factory(pid) for pid in range(1, n + 1)}
+    return Simulator(n=n, automata=automata, registers=registers, strict=strict)

@@ -1,0 +1,19 @@
+"""Schedule generators: the adversaries and benign schedulers used by experiments."""
+
+from .adversary import CarrierRotationAdversary, EventuallySynchronousGenerator
+from .base import ScheduleGenerator, SynchronyGuarantee
+from .figure1 import Figure1Generator
+from .random_schedule import RandomGenerator
+from .round_robin import RoundRobinGenerator
+from .set_timely import SetTimelyGenerator
+
+__all__ = [
+    "CarrierRotationAdversary",
+    "EventuallySynchronousGenerator",
+    "ScheduleGenerator",
+    "SynchronyGuarantee",
+    "Figure1Generator",
+    "RandomGenerator",
+    "RoundRobinGenerator",
+    "SetTimelyGenerator",
+]

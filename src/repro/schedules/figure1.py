@@ -1,0 +1,93 @@
+"""The paper's Figure 1 example schedule, exactly as printed.
+
+Figure 1 considers three processes ``p1``, ``p2``, ``q`` and the schedule
+
+    S = [(p1 · q)^i · (p2 · q)^i]  for i = 1, 2, 3, ...
+
+Neither ``p1`` nor ``p2`` is individually timely with respect to ``q`` in
+``S`` (each suffers ever-longer stretches with no step while ``q`` keeps
+stepping), but the *set* ``{p1, p2}`` — viewed as a single virtual process —
+is timely with respect to ``{q}`` with bound 2: between any two consecutive
+``q``-steps there is a step of ``p1`` or ``p2``.
+
+The generator reproduces ``S`` literally and also supports a generalized form
+with ``m`` rotating members, used by tests to exercise the same phenomenon at
+other set sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..types import ProcessId
+from .base import ScheduleGenerator, SynchronyGuarantee
+
+
+class Figure1Generator(ScheduleGenerator):
+    """The schedule ``[(p1 · q)^i (p2 · q)^i]_{i≥1}`` from Figure 1 (generalized).
+
+    Parameters
+    ----------
+    n:
+        Number of processes in the system (defaults to 3, the paper's figure).
+    rotating:
+        The processes playing the roles of ``p1, p2, ...`` (default ``(1, 2)``).
+        Block ``i`` of the schedule consists of ``(p · q)^i`` for each rotating
+        member ``p`` in turn.
+    reference:
+        The process playing ``q`` (default 3).
+    """
+
+    def __init__(
+        self,
+        n: int = 3,
+        rotating: Sequence[ProcessId] = (1, 2),
+        reference: ProcessId = 3,
+    ) -> None:
+        super().__init__(n)
+        rotating_tuple = tuple(rotating)
+        if len(rotating_tuple) < 2:
+            raise ConfigurationError("Figure 1 needs at least two rotating processes")
+        if len(set(rotating_tuple)) != len(rotating_tuple):
+            raise ConfigurationError(f"rotating processes contain duplicates: {rotating_tuple}")
+        for pid in rotating_tuple + (reference,):
+            if not 1 <= pid <= n:
+                raise ConfigurationError(f"process {pid} outside Πn = {{1..{n}}}")
+        if reference in rotating_tuple:
+            raise ConfigurationError("the reference process q must not be a rotating process")
+        self.rotating = rotating_tuple
+        self.reference = reference
+
+    @property
+    def description(self) -> str:
+        members = ",".join(f"p{index + 1}={pid}" for index, pid in enumerate(self.rotating))
+        return f"Figure 1 schedule ({members}; q={self.reference})"
+
+    def guarantee(self) -> Optional[SynchronyGuarantee]:
+        """The set of rotating processes is timely w.r.t. ``{q}`` with bound 2."""
+        return SynchronyGuarantee(
+            p_set=frozenset(self.rotating),
+            q_set=frozenset({self.reference}),
+            bound=2,
+        )
+
+    def _emit(self) -> Iterator[ProcessId]:
+        block = 1
+        while True:
+            for member in self.rotating:
+                for _ in range(block):
+                    yield member
+                    yield self.reference
+            block += 1
+
+    # ------------------------------------------------------------------
+    def steps_for_blocks(self, blocks: int) -> int:
+        """Schedule length covering the first ``blocks`` values of ``i``.
+
+        Block ``i`` contributes ``2 * i * len(rotating)`` steps, so analyses
+        can pick prefix lengths that end exactly at block boundaries.
+        """
+        if blocks < 0:
+            raise ConfigurationError(f"blocks must be non-negative, got {blocks}")
+        return sum(2 * i * len(self.rotating) for i in range(1, blocks + 1))

@@ -1,0 +1,202 @@
+"""Generators that enforce a set-timeliness guarantee by construction.
+
+Experiments E2 and E3 need schedules that are *certified* members of a chosen
+``S^i_{j,n}``: some set ``P`` of size ``i`` must be timely with respect to a
+set ``Q`` of size ``j`` with a known bound, while the schedule is otherwise as
+adversarial as we can make it — in particular, no *individual* member of ``P``
+should be timely (otherwise the classical single-leader machinery would
+suffice and the experiment would not exercise set timeliness at all).
+
+:class:`SetTimelyGenerator` achieves this with a carrier rotation inspired by
+Figure 1: time is divided into phases of growing length; in each phase one
+member of ``P`` (the *carrier*) supplies all of ``P``'s steps, and between
+consecutive carrier steps at most ``bound - 1`` steps of other processes are
+scheduled.  Consequences, by construction:
+
+* every maximal ``P``-free run contains at most ``bound - 1`` steps of
+  processes outside ``P`` — hence at most ``bound - 1`` ``Q``-steps — so ``P``
+  is timely with respect to *any* ``Q`` (in particular the configured one)
+  with bound ``bound``;
+* each individual member of ``P`` is silent for entire phases whose length
+  grows without bound, so it is not timely with respect to any set containing
+  a process that keeps stepping;
+* every non-crashed process outside ``P`` takes infinitely many steps (the
+  filler rotation cycles through all of them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..runtime.crash import CrashPattern
+from ..types import ProcessId, ProcessSet, process_set
+from .base import ScheduleGenerator, SynchronyGuarantee
+
+
+class SetTimelyGenerator(ScheduleGenerator):
+    """Schedules in which ``P`` is timely w.r.t. ``Q`` with a configured bound.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    p_set:
+        The set whose timeliness is guaranteed (size ``i`` of ``S^i_{j,n}``).
+    q_set:
+        The reference set (size ``j``).  Only used for the reported guarantee —
+        the construction actually makes ``P`` timely with respect to every set.
+    bound:
+        Guaranteed timeliness bound (must be at least 2; a bound of 1 would
+        mean every single ``Q``-step is a ``P``-step, which contradicts letting
+        non-``P`` processes run at all).
+    seed:
+        Seed for the randomized filler choice (fillers are drawn uniformly
+        among alive non-``P`` processes, with a deterministic fallback rotation
+        guaranteeing everyone steps infinitely often).
+    crash_pattern:
+        Prescribed failures.  At least one member of ``P`` must stay correct,
+        otherwise the guarantee cannot hold and construction fails fast.
+    base_phase, phase_growth:
+        Phase ``m`` (0-based) gives the carrier ``base_phase + m * phase_growth``
+        carrier steps before rotating.  Growth must be positive so individual
+        members of ``P`` are not timely.
+    burst_set, burst_base, burst_growth:
+        Optional set of processes that additionally receive a growing *burst*
+        of consecutive steps at the end of every phase (``burst_base +
+        phase * burst_growth`` steps each).  Burst processes must be disjoint
+        from both ``P`` and ``Q``: the bursts then leave the guarantee intact
+        (a ``P``-free run still contains at most ``bound - 1`` ``Q``-steps)
+        while making ``P`` *not* timely with respect to the burst processes —
+        the ingredient the accusation-statistic ablation (A1) needs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        p_set: Sequence[ProcessId] | ProcessSet,
+        q_set: Sequence[ProcessId] | ProcessSet,
+        bound: int = 3,
+        seed: int = 0,
+        crash_pattern: Optional[CrashPattern] = None,
+        base_phase: int = 4,
+        phase_growth: int = 2,
+        burst_set: Sequence[ProcessId] | ProcessSet = frozenset(),
+        burst_base: int = 0,
+        burst_growth: int = 0,
+    ) -> None:
+        super().__init__(n, crash_pattern)
+        self.p_set = process_set(p_set)
+        self.q_set = process_set(q_set)
+        if not self.p_set:
+            raise ConfigurationError("P must be non-empty")
+        if not self.q_set:
+            raise ConfigurationError("Q must be non-empty")
+        for pid in self.p_set | self.q_set:
+            if not 1 <= pid <= n:
+                raise ConfigurationError(f"process {pid} outside Πn = {{1..{n}}}")
+        if bound < 2:
+            raise ConfigurationError(f"timeliness bound must be >= 2, got {bound}")
+        if base_phase < 1 or phase_growth < 1:
+            raise ConfigurationError("base_phase and phase_growth must be >= 1")
+        if not (self.p_set - self.faulty):
+            raise ConfigurationError(
+                "the crash pattern kills every member of P; the set-timeliness "
+                "guarantee cannot hold in such a schedule"
+            )
+        self.bound = bound
+        self.seed = seed
+        self.base_phase = base_phase
+        self.phase_growth = phase_growth
+        self.burst_set = process_set(burst_set)
+        if self.burst_set & self.p_set:
+            raise ConfigurationError("burst processes must not be members of P")
+        if self.burst_set & self.q_set:
+            raise ConfigurationError(
+                "burst processes must not be members of Q: unbounded bursts of "
+                "Q-steps would void the set-timeliness guarantee"
+            )
+        for pid in self.burst_set:
+            if not 1 <= pid <= n:
+                raise ConfigurationError(f"burst process {pid} outside Πn = {{1..{n}}}")
+        if self.burst_set and (burst_base < 1 and burst_growth < 1):
+            raise ConfigurationError("a burst set needs burst_base >= 1 or burst_growth >= 1")
+        self.burst_base = burst_base
+        self.burst_growth = burst_growth
+
+    # ------------------------------------------------------------------
+    @property
+    def description(self) -> str:
+        p = sorted(self.p_set)
+        q = sorted(self.q_set)
+        return (
+            f"set-timely schedule: P={p} timely w.r.t. Q={q} "
+            f"(bound={self.bound}, seed={self.seed}, {self.crash_pattern.describe()})"
+        )
+
+    def guarantee(self) -> SynchronyGuarantee:
+        return SynchronyGuarantee(p_set=self.p_set, q_set=self.q_set, bound=self.bound)
+
+    # ------------------------------------------------------------------
+    def _phase_length(self, phase: int) -> int:
+        return self.base_phase + phase * self.phase_growth
+
+    def _emit(self) -> Iterator[ProcessId]:
+        rng = random.Random(self.seed)
+        carriers: List[ProcessId] = sorted(self.p_set)
+        fillers: List[ProcessId] = sorted(frozenset(range(1, self.n + 1)) - self.p_set)
+        filler_cursor = 0
+        step_index = 0
+        phase = 0
+        carrier_index = 0
+
+        while True:
+            carrier = carriers[carrier_index % len(carriers)]
+            remaining = self._phase_length(phase)
+            # Skip carriers that have crashed; if none is alive the constructor
+            # guarantee was violated by a dynamic crash, so fail loudly.
+            attempts = 0
+            while self.crash_pattern.is_crashed(carrier, step_index):
+                carrier_index += 1
+                attempts += 1
+                carrier = carriers[carrier_index % len(carriers)]
+                if attempts > len(carriers):
+                    raise ConfigurationError(
+                        "all members of P have crashed; cannot maintain the guarantee"
+                    )
+            while remaining > 0:
+                # One carrier step keeps P's timeliness alive ...
+                yield carrier
+                step_index += 1
+                remaining -= 1
+                # ... followed by at most (bound - 1) filler steps.
+                filler_budget = self.bound - 1
+                emitted = 0
+                guard = 0
+                while emitted < filler_budget and fillers:
+                    guard += 1
+                    if guard > 4 * len(fillers) + 8:
+                        break
+                    if rng.random() < 0.5:
+                        candidate = rng.choice(fillers)
+                    else:
+                        candidate = fillers[filler_cursor % len(fillers)]
+                        filler_cursor += 1
+                    if self.crash_pattern.is_crashed(candidate, step_index):
+                        continue
+                    yield candidate
+                    step_index += 1
+                    emitted += 1
+            # End-of-phase bursts: unbounded (growing) runs of the burst
+            # processes.  They contain no Q-step, so the guarantee holds.
+            if self.burst_set:
+                burst_length = self.burst_base + phase * self.burst_growth
+                for burst_pid in sorted(self.burst_set):
+                    if self.crash_pattern.is_crashed(burst_pid, step_index):
+                        continue
+                    for _ in range(burst_length):
+                        yield burst_pid
+                        step_index += 1
+            phase += 1
+            carrier_index += 1

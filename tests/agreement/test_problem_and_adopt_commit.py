@@ -1,0 +1,129 @@
+"""Tests for the agreement problem checker and the adopt-commit object."""
+
+import random
+
+import pytest
+
+from repro.agreement.adopt_commit import AdoptCommit, Grade
+from repro.agreement.problem import binary_inputs, check_agreement, distinct_inputs
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.runtime.automaton import FunctionAutomaton
+from repro.runtime.simulator import Simulator
+from repro.types import AgreementInstance
+
+
+class TestAgreementInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgreementInstance(t=0, k=1, n=3)
+        with pytest.raises(ValueError):
+            AgreementInstance(t=3, k=1, n=3)
+        with pytest.raises(ValueError):
+            AgreementInstance(t=2, k=4, n=3)
+
+    def test_describe(self):
+        assert "consensus" in AgreementInstance(t=2, k=1, n=3).describe()
+        assert "wait-free" in AgreementInstance(t=2, k=1, n=3).describe()
+        assert "set agreement" in AgreementInstance(t=1, k=3, n=4).describe()
+
+
+class TestCheckAgreement:
+    def setup_method(self):
+        self.problem = AgreementInstance(t=1, k=2, n=3)
+        self.inputs = {1: "a", 2: "b", 3: "c"}
+
+    def test_satisfied_run(self):
+        verdict = check_agreement(self.problem, self.inputs, {1: "a", 2: "a", 3: "b"}, correct={1, 2, 3})
+        assert verdict.valid and verdict.agreement and verdict.terminated and verdict.satisfied
+
+    def test_validity_violation(self):
+        verdict = check_agreement(self.problem, self.inputs, {1: "zzz"}, correct={1, 2, 3})
+        assert not verdict.valid
+        with pytest.raises(ProtocolViolationError):
+            check_agreement(self.problem, self.inputs, {1: "zzz"}, correct={1, 2, 3}, strict=True)
+
+    def test_agreement_violation(self):
+        decisions = {1: "a", 2: "b", 3: "c"}
+        verdict = check_agreement(self.problem, self.inputs, decisions, correct={1, 2, 3})
+        assert not verdict.agreement
+        with pytest.raises(ProtocolViolationError):
+            check_agreement(self.problem, self.inputs, decisions, correct={1, 2, 3}, strict=True)
+
+    def test_termination_reporting(self):
+        verdict = check_agreement(self.problem, self.inputs, {1: "a"}, correct={1, 2})
+        assert not verdict.terminated
+        assert verdict.undecided_correct == frozenset({2})
+        assert verdict.applicable  # one faulty process <= t
+
+    def test_termination_not_applicable_with_too_many_crashes(self):
+        verdict = check_agreement(self.problem, self.inputs, {}, correct={1})
+        assert not verdict.applicable
+        assert verdict.satisfied  # safety holds vacuously, termination excused
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_agreement(self.problem, {1: "a"}, {}, correct={1, 2, 3})
+
+    def test_input_helpers(self):
+        assert binary_inputs(3, {2}) == {1: 0, 2: 1, 3: 0}
+        assert distinct_inputs(3) == {1: 100, 2: 200, 3: 300}
+
+
+def run_adopt_commit(n, proposals, schedule_steps, name="ac"):
+    """Drive one adopt-commit object with the given per-process proposals."""
+    ac = AdoptCommit(name=name, n=n)
+    results = {}
+
+    def factory(pid):
+        def program(automaton, ctx):
+            result = yield from ac.propose(automaton.pid, proposals[automaton.pid])
+            results[automaton.pid] = result
+            automaton.publish("result", result)
+        return program
+
+    automata = {pid: FunctionAutomaton(pid=pid, n=n, function=factory(pid)) for pid in range(1, n + 1)}
+    simulator = Simulator(n=n, automata=automata)
+    simulator.run(Schedule(steps=tuple(schedule_steps), n=n))
+    return results
+
+
+class TestAdoptCommit:
+    def test_solo_proposer_commits(self):
+        results = run_adopt_commit(3, {1: "x", 2: "y", 3: "z"}, [1] * 20)
+        assert results[1].grade is Grade.COMMIT
+        assert results[1].value == "x"
+
+    def test_unanimous_proposals_commit(self):
+        results = run_adopt_commit(3, {1: "v", 2: "v", 3: "v"}, [1, 2, 3] * 20)
+        assert len(results) == 3
+        for result in results.values():
+            assert result.grade is Grade.COMMIT
+            assert result.value == "v"
+
+    def test_validity(self):
+        results = run_adopt_commit(3, {1: "a", 2: "b", 3: "c"}, [3, 1, 2] * 20)
+        for result in results.values():
+            assert result.value in {"a", "b", "c"}
+
+    def test_commit_agreement_under_random_schedules(self):
+        """If any process commits v, every returned value is v (agreement)."""
+        for seed in range(12):
+            rng = random.Random(seed)
+            steps = [rng.randint(1, 3) for _ in range(200)]
+            results = run_adopt_commit(3, {1: "a", 2: "b", 3: "b"}, steps, name=("ac", seed))
+            committed = [r.value for r in results.values() if r.grade is Grade.COMMIT]
+            if committed:
+                value = committed[0]
+                for result in results.values():
+                    assert result.value == value
+
+    def test_all_complete_in_bounded_steps(self):
+        """Wait-freedom: 2n + 2 own-steps suffice regardless of the interleaving."""
+        n = 3
+        per_process = 2 * n + 3
+        steps = []
+        for pid in (1, 2, 3):
+            steps.extend([pid] * per_process)
+        results = run_adopt_commit(n, {1: 1, 2: 2, 3: 3}, steps)
+        assert set(results) == {1, 2, 3}

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (`python -m repro`)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, run
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for name in EXPERIMENTS:
+            assert name in help_text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["does-not-exist"])
+
+
+class TestCommands:
+    def test_default_is_list(self):
+        lines = run([])
+        assert lines[0].startswith("available experiments")
+        assert any("figure1" in line for line in lines)
+
+    def test_list(self):
+        lines = run(["list"])
+        assert len(lines) == len(EXPERIMENTS) + 1
+
+    def test_figure1(self):
+        lines = run(["figure1", "--blocks", "2", "4"])
+        assert "bound {p1,p2} vs {q}" in lines[0]
+
+    def test_map(self):
+        lines = run(["map", "--t", "2", "--k", "2", "--n", "4"])
+        output = "\n".join(lines)
+        assert "Theorem 27 map" in output
+        assert "S^2_{3,4}" in output          # matching system
+        assert "frontier" in output
+
+    def test_separations(self):
+        lines = run(["separations"])
+        assert "oracle consistent" in lines[0]
+
+    def test_detector_small_horizon(self):
+        lines = run(["detector", "--horizon", "8000"])
+        assert "stabilization step" in lines[0]
+
+    def test_solve_small_instance(self):
+        lines = run(["solve", "--t", "2", "--k", "2", "--n", "3", "--max-steps", "200000"])
+        output = "\n".join(lines)
+        assert "satisfied: True" in output
+        assert "decisions:" in output
+
+    def test_solve_trivial_case(self):
+        lines = run(["solve", "--t", "1", "--k", "2", "--n", "3", "--max-steps", "50000"])
+        output = "\n".join(lines)
+        assert "trivial" in output
+        assert "satisfied: True" in output

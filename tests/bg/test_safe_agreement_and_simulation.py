@@ -1,0 +1,162 @@
+"""Tests for safe agreement and the BG-style simulation (experiment E8)."""
+
+import random
+
+import pytest
+
+from repro.bg.safe_agreement import SafeAgreement, SafeAgreementStatus
+from repro.bg.simulation import (
+    BGSimulatorAutomaton,
+    SimulatedProtocol,
+    full_information_agreement_protocol,
+    make_bg_simulators,
+)
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.runtime.automaton import FunctionAutomaton
+from repro.runtime.simulator import Simulator
+
+
+def run_safe_agreement(n, proposals, schedule_steps, name="sa"):
+    obj = SafeAgreement(name=name, n=n)
+    outcomes = {}
+
+    def factory(pid):
+        def program(automaton, ctx):
+            yield from obj.propose(automaton.pid, proposals[automaton.pid])
+            value = yield from obj.resolve(automaton.pid)
+            outcomes[automaton.pid] = value
+        return program
+
+    automata = {pid: FunctionAutomaton(pid=pid, n=n, function=factory(pid)) for pid in range(1, n + 1)}
+    simulator = Simulator(n=n, automata=automata)
+    simulator.run(Schedule(steps=tuple(schedule_steps), n=n))
+    return outcomes
+
+
+class TestSafeAgreement:
+    def test_solo_run_decides_own_value(self):
+        outcomes = run_safe_agreement(3, {1: "a", 2: "b", 3: "c"}, [1] * 30)
+        assert outcomes == {1: "a"}
+
+    def test_agreement_and_validity_under_random_schedules(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            steps = [rng.randint(1, 3) for _ in range(400)]
+            outcomes = run_safe_agreement(3, {1: "a", 2: "b", 3: "c"}, steps, name=("sa", seed))
+            values = set(outcomes.values())
+            assert len(values) == 1
+            assert values <= {"a", "b", "c"}
+
+    def test_pending_while_proposer_is_inside_unsafe_window(self):
+        """A proposer paused between its two writes blocks resolution (by design)."""
+        obj = SafeAgreement(name="window", n=2)
+        statuses = []
+
+        def proposer(automaton, ctx):
+            yield from obj.propose(1, "slow")
+
+        def resolver(automaton, ctx):
+            outcome = yield from obj.try_resolve(2)
+            statuses.append(outcome.status)
+            automaton.publish("status", outcome.status)
+
+        automata = {
+            1: FunctionAutomaton(pid=1, n=2, function=proposer),
+            2: FunctionAutomaton(pid=2, n=2, function=resolver),
+        }
+        simulator = Simulator(n=2, automata=automata)
+        # Process 1 takes exactly one step (its level-1 write), then process 2
+        # attempts a full resolution and must see PENDING.
+        simulator.run(Schedule(steps=(1,) + (2,) * 10, n=2))
+        assert statuses == [SafeAgreementStatus.PENDING]
+
+    def test_resolution_after_window_closes(self):
+        obj = SafeAgreement(name="window2", n=2)
+        results = {}
+
+        def proposer(automaton, ctx):
+            yield from obj.propose(1, "done")
+            results[1] = yield from obj.resolve(1)
+
+        def resolver(automaton, ctx):
+            results[2] = yield from obj.resolve(2)
+
+        automata = {
+            1: FunctionAutomaton(pid=1, n=2, function=proposer),
+            2: FunctionAutomaton(pid=2, n=2, function=resolver),
+        }
+        simulator = Simulator(n=2, automata=automata)
+        simulator.run(Schedule(steps=(1,) * 20 + (2,) * 20, n=2))
+        assert results == {1: "done", 2: "done"}
+
+
+class TestSimulatedProtocol:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedProtocol(threads=0, rounds=1, step=lambda *a: None, decide=lambda *a: None)
+        with pytest.raises(ConfigurationError):
+            SimulatedProtocol(threads=2, rounds=0, step=lambda *a: None, decide=lambda *a: None)
+
+    def test_make_simulators_requires_all_inputs(self):
+        protocol = full_information_agreement_protocol(threads=3)
+        with pytest.raises(ConfigurationError):
+            make_bg_simulators(3, protocol, {1: 0})
+
+
+class TestBGSimulation:
+    def run_simulation(self, m, threads, schedule_steps, inputs=None, namespace="bgtest"):
+        protocol = full_information_agreement_protocol(threads=threads)
+        inputs = inputs if inputs is not None else {pid: pid * 10 for pid in range(1, m + 1)}
+        automata = make_bg_simulators(m, protocol, inputs, namespace=namespace)
+        simulator = Simulator(n=m, automata=automata)
+        simulator.run(Schedule(steps=tuple(schedule_steps), n=m))
+        return simulator, automata
+
+    def test_simulators_agree_on_every_simulated_decision(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            steps = [rng.randint(1, 3) for _ in range(20_000)]
+            simulator, automata = self.run_simulation(3, threads=5, schedule_steps=steps, namespace=("bg", seed))
+            per_thread = {}
+            for pid, automaton in automata.items():
+                for thread, decision in automaton.simulated_decisions().items():
+                    per_thread.setdefault(thread, set()).add(decision)
+            for thread, decisions in per_thread.items():
+                assert len(decisions) == 1, f"simulators disagree on thread {thread}"
+
+    def test_decisions_are_agreed_inputs(self):
+        simulator, automata = self.run_simulation(
+            3, threads=4, schedule_steps=[1, 2, 3] * 8000, inputs={1: 7, 2: 9, 3: 11}
+        )
+        decisions = set()
+        for automaton in automata.values():
+            decisions.update(automaton.simulated_decisions().values())
+        assert decisions
+        assert decisions <= {7, 9, 11}
+
+    def test_crashed_simulator_blocks_at_most_one_thread(self):
+        """The defining BG property: a simulator that stops inside one unsafe
+        window prevents at most one simulated thread from progressing."""
+        threads = 5
+        protocol = full_information_agreement_protocol(threads=threads)
+        inputs = {1: 1, 2: 2, 3: 3}
+        automata = make_bg_simulators(3, protocol, inputs, namespace="bgcrash")
+        simulator = Simulator(n=3, automata=automata)
+        # Simulator 3 takes a single step (entering the first thread's unsafe
+        # window) and then crashes: it never appears in the schedule again.
+        steps = (3,) + tuple([1, 2] * 40_000)
+        simulator.run(Schedule(steps=steps, n=3))
+        # The two live simulators must still decide at least threads - 1 threads.
+        for pid in (1, 2):
+            decided = automata[pid].simulated_decisions()
+            assert len(decided) >= threads - 1, (
+                f"simulator {pid} decided only {sorted(decided)} — a single crashed "
+                "simulator may block at most one simulated thread"
+            )
+
+    def test_failure_free_run_decides_every_thread(self):
+        simulator, automata = self.run_simulation(3, threads=4, schedule_steps=[1, 2, 3] * 15_000)
+        for automaton in automata.values():
+            assert len(automaton.simulated_decisions()) == 4
+            assert automaton.halted if hasattr(automaton, "halted") else True

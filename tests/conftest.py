@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.schedule import Schedule
+
+# One moderate profile for all property-based tests: enough examples to be
+# meaningful, no per-example deadline (simulator-driven examples vary a lot).
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG for tests that need ad-hoc randomness."""
+    return random.Random(20090802)  # the paper's HAL submission date
+
+
+@pytest.fixture
+def small_schedule() -> Schedule:
+    """A short hand-written schedule over three processes used by many unit tests."""
+    return Schedule(steps=(1, 2, 3, 3, 2, 1, 3, 3, 3, 1), n=3)
+
+
+def random_schedule(n: int, length: int, seed: int) -> Schedule:
+    """Helper used by several test modules to build seeded random schedules."""
+    generator = random.Random(seed)
+    return Schedule(steps=tuple(generator.randint(1, n) for _ in range(length)), n=n)

@@ -1,0 +1,71 @@
+"""Experiment E1 as tests: the Figure 1 example behaves exactly as the paper says."""
+
+import pytest
+
+from repro.core.timeliness import analyze_timeliness
+from repro.errors import ConfigurationError
+from repro.schedules.figure1 import Figure1Generator
+
+
+class TestFigure1Schedule:
+    def test_first_blocks_match_the_paper(self):
+        generator = Figure1Generator()
+        prefix = generator.generate(generator.steps_for_blocks(2))
+        # i=1: (p1 q)(p2 q); i=2: (p1 q)^2 (p2 q)^2  with p1=1, p2=2, q=3.
+        assert prefix.steps == (1, 3, 2, 3, 1, 3, 1, 3, 2, 3, 2, 3)
+
+    def test_steps_for_blocks(self):
+        generator = Figure1Generator()
+        assert generator.steps_for_blocks(1) == 4
+        assert generator.steps_for_blocks(3) == 4 + 8 + 12
+
+    def test_individual_processes_not_timely(self):
+        """The observed bound of {p1} (and {p2}) w.r.t. {q} grows with the prefix."""
+        generator = Figure1Generator()
+        bounds_p1 = []
+        bounds_p2 = []
+        for blocks in (2, 4, 8):
+            schedule = generator.generate(generator.steps_for_blocks(blocks))
+            bounds_p1.append(analyze_timeliness(schedule, {1}, {3}).minimal_bound)
+            bounds_p2.append(analyze_timeliness(schedule, {2}, {3}).minimal_bound)
+        assert bounds_p1 == sorted(bounds_p1) and bounds_p1[0] < bounds_p1[-1]
+        assert bounds_p2 == sorted(bounds_p2) and bounds_p2[0] < bounds_p2[-1]
+
+    def test_set_is_timely_with_bound_two(self):
+        """{p1, p2} is timely w.r.t. {q} with bound 2 on every prefix."""
+        generator = Figure1Generator()
+        for blocks in (1, 3, 6, 12):
+            schedule = generator.generate(generator.steps_for_blocks(blocks))
+            assert analyze_timeliness(schedule, {1, 2}, {3}).minimal_bound <= 2
+
+    def test_guarantee_matches_claim(self):
+        guarantee = Figure1Generator().guarantee()
+        assert guarantee.p_set == frozenset({1, 2})
+        assert guarantee.q_set == frozenset({3})
+        assert guarantee.bound == 2
+
+    def test_all_processes_correct(self):
+        generator = Figure1Generator()
+        schedule = generator.generate(generator.steps_for_blocks(5))
+        assert schedule.participants() == frozenset({1, 2, 3})
+        assert generator.faulty == frozenset()
+
+
+class TestFigure1Validation:
+    def test_needs_two_rotating_processes(self):
+        with pytest.raises(ConfigurationError):
+            Figure1Generator(rotating=(1,))
+
+    def test_reference_must_differ(self):
+        with pytest.raises(ConfigurationError):
+            Figure1Generator(rotating=(1, 2), reference=2)
+
+    def test_duplicate_rotating_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Figure1Generator(n=4, rotating=(1, 1), reference=3)
+
+    def test_generalized_rotation(self):
+        generator = Figure1Generator(n=4, rotating=(1, 2, 3), reference=4)
+        schedule = generator.generate(60)
+        assert analyze_timeliness(schedule, {1, 2, 3}, {4}).minimal_bound <= 2
+        assert analyze_timeliness(schedule, {1}, {4}).minimal_bound > 2

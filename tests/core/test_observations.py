@@ -1,0 +1,75 @@
+"""Property-based checks of Observations 4-7 (2 and 3 live with the timeliness tests)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.observations import observation_4, observation_5, observation_6, observation_7
+from repro.core.schedule import Schedule
+from repro.types import AgreementInstance, SystemCoordinates
+
+N_MAX = 6
+
+
+def problems():
+    return st.integers(3, N_MAX).flatmap(
+        lambda n: st.tuples(
+            st.integers(1, n - 1),
+            st.integers(1, n),
+            st.just(n),
+        )
+    ).map(lambda tkn: AgreementInstance(t=tkn[0], k=tkn[1], n=tkn[2]))
+
+
+def coordinates(n: int):
+    return st.integers(1, n).flatmap(
+        lambda j: st.tuples(st.integers(1, j), st.just(j))
+    ).map(lambda ij: SystemCoordinates(i=ij[0], j=ij[1], n=n))
+
+
+@given(
+    st.integers(2, N_MAX).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(1, n),
+            st.integers(1, n),
+            st.integers(1, n),
+            st.integers(1, n),
+        )
+    )
+)
+def test_observation_4(params):
+    n, i, j, i_prime, j_prime = params
+    assert observation_4(i, j, i_prime, j_prime, n)
+
+
+@given(
+    st.integers(2, N_MAX),
+    st.integers(1, N_MAX),
+    st.lists(st.integers(1, 2), max_size=20),
+)
+def test_observation_5(n, i, raw_steps):
+    steps = tuple(min(step, n) for step in raw_steps)
+    schedule = Schedule(steps=steps, n=n)
+    assert observation_5(i, n, schedule)
+
+
+@given(problems())
+def test_observation_6(problem):
+    n = problem.n
+    for outer_j in range(1, n + 1):
+        for outer_i in range(1, outer_j + 1):
+            outer = SystemCoordinates(i=outer_i, j=outer_j, n=n)
+            for inner_j in range(outer_j, n + 1):
+                for inner_i in range(1, min(outer_i, inner_j) + 1):
+                    inner = SystemCoordinates(i=inner_i, j=inner_j, n=n)
+                    assert observation_6(problem, outer, inner)
+
+
+@given(problems(), st.data())
+def test_observation_7(problem, data):
+    n = problem.n
+    j = data.draw(st.integers(1, n))
+    i = data.draw(st.integers(1, j))
+    j_prime = data.draw(st.integers(1, n))
+    i_prime = data.draw(st.integers(1, j_prime))
+    assert observation_7(problem, i, j, i_prime, j_prime)

@@ -1,0 +1,98 @@
+"""Tests for the schedule-level reductions used by the Theorem 27 proofs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.reductions import (
+    embed_with_fictitious_processes,
+    pad_witness_to_resilience,
+    verify_fictitious_membership,
+)
+from repro.core.schedule import Schedule
+from repro.core.timeliness import analyze_timeliness
+from repro.errors import ConfigurationError
+from repro.schedules.random_schedule import RandomGenerator
+
+
+class TestFictitiousEmbedding:
+    def test_embedding_preserves_steps_and_marks_extras_faulty(self):
+        original = Schedule(steps=(1, 2, 3, 2, 1), n=3)
+        embedding = embed_with_fictitious_processes(original, extra=2)
+        assert embedding.n == 5
+        assert embedding.schedule.steps == original.steps
+        assert embedding.fictitious_processes == frozenset({4, 5})
+        assert embedding.schedule.faulty_hint == frozenset({4, 5})
+        assert embedding.real_processes == frozenset({1, 2, 3})
+
+    def test_zero_extra_is_identity_universe(self):
+        original = Schedule(steps=(1, 2), n=2)
+        embedding = embed_with_fictitious_processes(original, extra=0)
+        assert embedding.n == 2
+        assert embedding.fictitious_processes == frozenset()
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ConfigurationError):
+            embed_with_fictitious_processes(Schedule(steps=(1,), n=1), extra=-1)
+
+    def test_membership_claim_of_theorem_27_2b(self):
+        """Every embedded schedule is in S^i_{j, m+(j-i)}: the proof's property."""
+        for seed in range(5):
+            original = RandomGenerator(3, seed=seed).generate(300)
+            embedding = embed_with_fictitious_processes(original, extra=2)
+            # i = 2 real processes, j = i + 2 (using both fictitious processes).
+            assert verify_fictitious_membership(embedding, i=2, j=4)
+            # Any pinned pair of real processes works as the witness.
+            assert verify_fictitious_membership(embedding, i=2, j=4, real_witness={1, 3})
+
+    def test_membership_validation(self):
+        embedding = embed_with_fictitious_processes(Schedule(steps=(1, 2), n=2), extra=1)
+        with pytest.raises(ConfigurationError):
+            verify_fictitious_membership(embedding, i=2, j=1)
+        with pytest.raises(ConfigurationError):
+            verify_fictitious_membership(embedding, i=1, j=3)  # needs 2 fictitious, has 1
+        with pytest.raises(ConfigurationError):
+            verify_fictitious_membership(embedding, i=1, j=2, real_witness={3})
+
+    @given(st.lists(st.integers(1, 3), min_size=1, max_size=60), st.integers(0, 3))
+    def test_membership_holds_for_arbitrary_schedules(self, steps, extra):
+        original = Schedule(steps=tuple(steps), n=3)
+        embedding = embed_with_fictitious_processes(original, extra=extra)
+        i = 1
+        j = 1 + extra
+        assert verify_fictitious_membership(embedding, i=i, j=j)
+
+
+class TestWitnessPadding:
+    def test_padding_reaches_t_plus_one(self):
+        # P = {1,2} timely w.r.t. Q = {3} in this alternating schedule.
+        schedule = Schedule(steps=(1, 3, 2, 3) * 25, n=5)
+        padded = pad_witness_to_resilience(schedule, {1, 2}, {3}, t=3)
+        assert len(padded.q_set) == 4  # t + 1
+        assert padded.q_set >= frozenset({3})
+        assert padded.p_set >= frozenset({1, 2})
+        assert padded.padding and padded.padding.isdisjoint({3})
+        assert padded.coordinates.j == 4
+
+    def test_padded_bound_respects_observation_2(self):
+        schedule = Schedule(steps=(1, 3, 2, 3) * 25, n=5)
+        base_bound = analyze_timeliness(schedule, {1, 2}, {3}).minimal_bound
+        padded = pad_witness_to_resilience(schedule, {1, 2}, {3}, t=3)
+        # The padding set is timely w.r.t. itself with bound 1, so the union
+        # bound is at most base_bound + 1 (Observation 2).
+        assert padded.bound <= base_bound + 1
+
+    def test_no_padding_needed_when_j_already_large(self):
+        schedule = Schedule(steps=(1, 2, 3, 4) * 10, n=4)
+        padded = pad_witness_to_resilience(schedule, {1}, {2, 3, 4}, t=2)
+        assert padded.padding == frozenset()
+        assert padded.q_set == frozenset({2, 3, 4})
+
+    def test_validation(self):
+        schedule = Schedule(steps=(1, 2), n=2)
+        with pytest.raises(ConfigurationError):
+            pad_witness_to_resilience(schedule, set(), {1}, t=1)
+        with pytest.raises(ConfigurationError):
+            pad_witness_to_resilience(schedule, {1}, {2}, t=2)  # t > n-1
+        with pytest.raises(ConfigurationError):
+            pad_witness_to_resilience(schedule, {5}, {1}, t=1)

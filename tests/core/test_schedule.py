@@ -1,0 +1,171 @@
+"""Unit tests for the schedule formalism (repro.core.schedule)."""
+
+import pytest
+
+from repro.core.schedule import InfiniteSchedule, Schedule, ScheduleBuilder, interleave
+from repro.errors import ScheduleError
+
+
+class TestScheduleConstruction:
+    def test_valid_schedule_keeps_steps(self):
+        schedule = Schedule(steps=(1, 2, 3, 1), n=3)
+        assert len(schedule) == 4
+        assert list(schedule) == [1, 2, 3, 1]
+
+    def test_empty_schedule(self):
+        schedule = Schedule.empty(4)
+        assert len(schedule) == 0
+        assert not schedule
+        assert schedule.participants() == frozenset()
+
+    def test_step_outside_universe_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(steps=(1, 5), n=3)
+
+    def test_zero_process_id_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(steps=(0,), n=3)
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(steps=(), n=0)
+
+    def test_faulty_hint_validated(self):
+        with pytest.raises(ScheduleError):
+            Schedule(steps=(1,), n=2, faulty_hint=frozenset({5}))
+
+    def test_from_rounds(self):
+        schedule = Schedule.from_rounds([(1, 2), (2, 1)], n=2)
+        assert schedule.steps == (1, 2, 2, 1)
+
+    def test_round_robin_constructor(self):
+        schedule = Schedule.round_robin(3, rounds=2)
+        assert schedule.steps == (1, 2, 3, 1, 2, 3)
+
+    def test_round_robin_custom_order(self):
+        schedule = Schedule.round_robin(3, rounds=2, order=(3, 1))
+        assert schedule.steps == (3, 1, 3, 1)
+
+
+class TestScheduleQueries:
+    def test_counts(self, small_schedule):
+        assert small_schedule.count(3) == 5
+        assert small_schedule.counts() == {1: 3, 2: 2, 3: 5}
+
+    def test_count_set(self, small_schedule):
+        assert small_schedule.count_set({1, 2}) == 5
+
+    def test_occurrences(self, small_schedule):
+        assert small_schedule.occurrences({1}) == [0, 5, 9]
+
+    def test_last_occurrence(self, small_schedule):
+        assert small_schedule.last_occurrence(2) == 4
+        assert Schedule(steps=(1,), n=3).last_occurrence(2) is None
+
+    def test_participants_and_silent(self):
+        schedule = Schedule(steps=(1, 1, 3), n=4)
+        assert schedule.participants() == frozenset({1, 3})
+        assert schedule.silent_processes() == frozenset({2, 4})
+
+    def test_restricted_to_is_virtual_process_view(self, small_schedule):
+        restricted = small_schedule.restricted_to({1, 2})
+        assert restricted.steps == (1, 2, 2, 1, 1)
+
+    def test_windows(self):
+        schedule = Schedule(steps=(1, 2, 3, 1), n=3)
+        assert list(schedule.windows(2)) == [(1, 2), (2, 3), (3, 1)]
+
+    def test_windows_bad_size(self, small_schedule):
+        with pytest.raises(ScheduleError):
+            list(small_schedule.windows(0))
+
+    def test_declared_correct(self):
+        schedule = Schedule(steps=(1, 2), n=3, faulty_hint=frozenset({3}))
+        assert schedule.declared_correct() == frozenset({1, 2})
+        assert Schedule(steps=(1,), n=3).declared_correct() is None
+
+
+class TestScheduleStructure:
+    def test_concat_matches_paper_notation(self):
+        left = Schedule(steps=(1, 2), n=3)
+        right = Schedule(steps=(3,), n=3)
+        assert (left + right).steps == (1, 2, 3)
+
+    def test_concat_different_universes_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(steps=(1,), n=2).concat(Schedule(steps=(1,), n=3))
+
+    def test_concat_keeps_suffix_hint(self):
+        left = Schedule(steps=(1,), n=3, faulty_hint=frozenset({1}))
+        right = Schedule(steps=(2,), n=3, faulty_hint=frozenset({3}))
+        assert (left + right).faulty_hint == frozenset({3})
+
+    def test_prefix_suffix_repeat(self, small_schedule):
+        assert small_schedule.prefix(3).steps == (1, 2, 3)
+        assert small_schedule.suffix(8).steps == (3, 1)
+        assert Schedule(steps=(1, 2), n=2).repeat(3).steps == (1, 2, 1, 2, 1, 2)
+
+    def test_prefix_negative_rejected(self, small_schedule):
+        with pytest.raises(ScheduleError):
+            small_schedule.prefix(-1)
+
+    def test_slicing_returns_schedule(self, small_schedule):
+        sliced = small_schedule[2:5]
+        assert isinstance(sliced, Schedule)
+        assert sliced.steps == (3, 3, 2)
+        assert small_schedule[0] == 1
+
+    def test_with_faulty_hint(self, small_schedule):
+        hinted = small_schedule.with_faulty_hint({2})
+        assert hinted.faulty_hint == frozenset({2})
+        assert hinted.steps == small_schedule.steps
+
+
+class TestScheduleBuilder:
+    def test_builds_expected_schedule(self):
+        builder = ScheduleBuilder(3)
+        builder.append(1).extend([2, 3]).repeat_block([1, 3], 2).declare_faulty({2})
+        schedule = builder.build()
+        assert schedule.steps == (1, 2, 3, 1, 3, 1, 3)
+        assert schedule.faulty_hint == frozenset({2})
+        assert len(builder) == 7
+
+    def test_rejects_bad_process(self):
+        with pytest.raises(ScheduleError):
+            ScheduleBuilder(2).append(3)
+
+    def test_rejects_negative_repeat(self):
+        with pytest.raises(ScheduleError):
+            ScheduleBuilder(2).repeat_block([1], -1)
+
+
+class TestInfiniteSchedule:
+    def test_prefix_materializes_steps(self):
+        infinite = InfiniteSchedule(n=3, step_fn=lambda index: (index % 3) + 1)
+        prefix = infinite.prefix(7)
+        assert prefix.steps == (1, 2, 3, 1, 2, 3, 1)
+        assert prefix.faulty_hint is None or prefix.faulty_hint == frozenset()
+
+    def test_correct_set(self):
+        infinite = InfiniteSchedule(n=3, step_fn=lambda index: 1, faulty=frozenset({3}))
+        assert infinite.correct() == frozenset({1, 2})
+
+    def test_iter_steps_is_unbounded(self):
+        infinite = InfiniteSchedule(n=2, step_fn=lambda index: 1 + (index % 2))
+        iterator = infinite.iter_steps()
+        assert [next(iterator) for _ in range(4)] == [1, 2, 1, 2]
+
+
+class TestInterleave:
+    def test_round_robin_interleaving(self):
+        a = Schedule(steps=(1, 1, 1), n=3)
+        b = Schedule(steps=(2, 2), n=3)
+        assert interleave([a, b]).steps == (1, 2, 1, 2, 1)
+
+    def test_requires_matching_universes(self):
+        with pytest.raises(ScheduleError):
+            interleave([Schedule(steps=(1,), n=2), Schedule(steps=(1,), n=3)])
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(ScheduleError):
+            interleave([])

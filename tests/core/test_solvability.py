@@ -1,0 +1,129 @@
+"""Tests for the Theorem 27 solvability characterization (repro.core.solvability)."""
+
+import pytest
+
+from repro.core.solvability import (
+    Verdict,
+    classify,
+    is_solvable,
+    matching_system,
+    matching_system_object,
+    separations,
+    solvability_grid,
+    solvable_frontier,
+    verify_separations,
+)
+from repro.errors import ConfigurationError
+from repro.types import AgreementInstance, SystemCoordinates
+
+
+class TestTheorem27Oracle:
+    def test_characterization_formula(self):
+        """Exhaustively check the oracle against the paper's iff for small n."""
+        for n in range(2, 7):
+            for t in range(1, n):
+                for k in range(1, t + 1):
+                    problem = AgreementInstance(t=t, k=k, n=n)
+                    for j in range(1, n + 1):
+                        for i in range(1, j + 1):
+                            expected = (i <= k) and (j - i >= t + 1 - k)
+                            actual = is_solvable(problem, SystemCoordinates(i=i, j=j, n=n))
+                            assert actual == expected, (t, k, n, i, j)
+
+    def test_k_greater_than_t_always_solvable(self):
+        problem = AgreementInstance(t=1, k=3, n=4)
+        for j in range(1, 5):
+            for i in range(1, j + 1):
+                assert is_solvable(problem, SystemCoordinates(i=i, j=j, n=4))
+
+    def test_asynchronous_system_solves_only_k_greater_than_t(self):
+        asynchronous = SystemCoordinates(i=4, j=4, n=4)
+        assert not is_solvable(AgreementInstance(t=2, k=2, n=4), asynchronous)
+        assert is_solvable(AgreementInstance(t=2, k=3, n=4), asynchronous)
+
+    def test_classify_reports_reason(self):
+        result = classify(AgreementInstance(t=2, k=2, n=4), SystemCoordinates(i=3, j=4, n=4))
+        assert result.verdict is Verdict.UNSOLVABLE
+        assert "i=3" in result.reason
+
+        result = classify(AgreementInstance(t=2, k=2, n=4), SystemCoordinates(i=2, j=3, n=4))
+        assert result.verdict is Verdict.SOLVABLE
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify(AgreementInstance(t=2, k=2, n=4), SystemCoordinates(i=1, j=2, n=5))
+
+
+class TestMatchingSystem:
+    def test_matching_system_is_sk_t_plus_1(self):
+        assert matching_system(AgreementInstance(t=3, k=2, n=6)) == SystemCoordinates(i=2, j=4, n=6)
+
+    def test_matching_system_object(self):
+        system = matching_system_object(AgreementInstance(t=3, k=2, n=6))
+        assert system.i == 2 and system.j == 4 and system.n == 6
+
+    def test_matching_system_for_k_greater_than_t_is_asynchronous(self):
+        coords = matching_system(AgreementInstance(t=1, k=3, n=4))
+        assert coords.is_asynchronous
+
+    def test_problem_solvable_in_matching_system(self):
+        for (t, k, n) in [(2, 2, 4), (3, 1, 5), (4, 3, 6), (1, 1, 3)]:
+            problem = AgreementInstance(t=t, k=k, n=n)
+            assert is_solvable(problem, matching_system(problem))
+
+
+class TestSeparations:
+    def test_both_arms_present_when_well_formed(self):
+        statements = separations(AgreementInstance(t=2, k=2, n=5))
+        descriptions = [s.description for s in statements]
+        assert len(statements) == 2
+        assert any("(3,2,5)" in d for d in descriptions)
+        assert any("(2,1,5)" in d for d in descriptions)
+
+    def test_wait_free_problem_has_single_arm(self):
+        # t = n-1: no (t+1, k, n) instance exists.
+        statements = separations(AgreementInstance(t=3, k=2, n=4))
+        assert len(statements) == 1
+        assert statements[0].unsolvable_problem.k == 1
+
+    def test_consensus_problem_has_single_arm(self):
+        # k = 1: no (t, k-1, n) instance exists.
+        statements = separations(AgreementInstance(t=2, k=1, n=5))
+        assert len(statements) == 1
+        assert statements[0].unsolvable_problem.t == 3
+
+    def test_no_separation_when_k_exceeds_t(self):
+        assert separations(AgreementInstance(t=1, k=2, n=4)) == []
+
+    def test_oracle_consistency(self):
+        for (t, k, n) in [(2, 2, 4), (3, 2, 5), (2, 1, 4), (4, 4, 5), (3, 3, 4)]:
+            assert verify_separations(AgreementInstance(t=t, k=k, n=n))
+
+
+class TestGridAndFrontier:
+    def test_grid_covers_all_cells(self):
+        problem = AgreementInstance(t=2, k=2, n=4)
+        grid = solvability_grid(problem)
+        assert len(grid) == sum(range(1, 5))
+
+    def test_frontier_contains_matching_system(self):
+        problem = AgreementInstance(t=3, k=2, n=6)
+        frontier = solvable_frontier(problem)
+        assert matching_system(problem) in frontier
+
+    def test_frontier_is_the_diagonal_of_theorem_27(self):
+        problem = AgreementInstance(t=3, k=2, n=6)
+        frontier = set(solvable_frontier(problem))
+        expected = {
+            SystemCoordinates(i=i, j=i + problem.t + 1 - problem.k, n=6)
+            for i in range(1, problem.k + 1)
+            if i + problem.t + 1 - problem.k <= 6
+        }
+        assert frontier == expected
+
+    def test_frontier_cells_are_solvable_and_undominated(self):
+        problem = AgreementInstance(t=2, k=2, n=5)
+        frontier = solvable_frontier(problem)
+        grid = solvability_grid(problem)
+        for coords in frontier:
+            assert grid[(coords.i, coords.j)].solvable

@@ -1,0 +1,106 @@
+"""Unit tests for systems S^i_{j,n} (repro.core.systems)."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.systems import (
+    AsynchronousSystem,
+    SetTimelinessSystem,
+    asynchronous_system,
+    partially_synchronous_system,
+    system_family,
+)
+from repro.errors import ConfigurationError
+from repro.types import SystemCoordinates
+
+
+class TestConstruction:
+    def test_valid_coordinates(self):
+        system = SetTimelinessSystem(i=2, j=3, n=5)
+        assert system.i == 2 and system.j == 3 and system.n == 5
+        assert system.name == "S^2_{3,5}"
+        assert system.coordinates() == SystemCoordinates(i=2, j=3, n=5)
+
+    def test_invalid_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetTimelinessSystem(i=3, j=2, n=5)
+        with pytest.raises(ConfigurationError):
+            SetTimelinessSystem(i=0, j=2, n=5)
+        with pytest.raises(ConfigurationError):
+            SetTimelinessSystem(i=2, j=6, n=5)
+
+    def test_asynchronous_system(self):
+        system = asynchronous_system(4)
+        assert system.n == 4
+        assert system.is_asynchronous()
+        assert system.admits(Schedule(steps=(1, 2, 3, 4), n=4))
+
+    def test_system_family_size(self):
+        family = system_family(4)
+        assert len(family) == sum(range(1, 5))  # pairs with 1 <= i <= j <= 4
+
+    def test_factory_helpers(self):
+        assert isinstance(partially_synchronous_system(1, 2, 3), SetTimelinessSystem)
+        with pytest.raises(ConfigurationError):
+            partially_synchronous_system(2, 1, 3)
+
+
+class TestContainment:
+    def test_observation_4_containment(self):
+        outer = SetTimelinessSystem(i=2, j=3, n=5)
+        inner = SetTimelinessSystem(i=1, j=4, n=5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_containment_requires_same_n(self):
+        assert not SetTimelinessSystem(i=1, j=2, n=4).contains(SetTimelinessSystem(i=1, j=2, n=5))
+
+    def test_asynchronous_contains_everything(self):
+        asynchronous = AsynchronousSystem(5)
+        for system in system_family(5):
+            assert asynchronous.contains(system)
+
+    def test_observation_5_diagonal_is_asynchronous(self):
+        diagonal = SetTimelinessSystem(i=3, j=3, n=5)
+        assert diagonal.is_asynchronous()
+        assert diagonal.contains(AsynchronousSystem(5))
+        assert AsynchronousSystem(5).contains(diagonal)
+
+    def test_equality_and_hash_by_coordinates(self):
+        a = SetTimelinessSystem(i=2, j=3, n=5)
+        b = SetTimelinessSystem(i=2, j=3, n=5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestWitnesses:
+    def test_best_witness_finds_alternating_pair(self):
+        schedule = Schedule(steps=(1, 2) * 20 + (3,) * 5, n=3)
+        system = SetTimelinessSystem(i=1, j=1, n=3)
+        witness = system.best_witness(schedule)
+        assert witness.bound <= 2
+
+    def test_admits_with_bound(self):
+        # Process 3 alternates with {1, 2}, so some singleton is timely w.r.t.
+        # some pair with bound 2 and the schedule is good evidence for S^1_{2,3}.
+        schedule = Schedule(steps=(1, 3, 2, 3) * 10, n=3)
+        system = SetTimelinessSystem(i=1, j=2, n=3)
+        assert system.admits_with_bound(schedule, bound=2)
+
+    def test_witnesses_with_bound_lists_all(self):
+        schedule = Schedule(steps=(1, 2, 3) * 10, n=3)
+        system = SetTimelinessSystem(i=1, j=1, n=3)
+        witnesses = system.witnesses_with_bound(schedule, bound=3)
+        # In a round-robin schedule every singleton is timely w.r.t. every
+        # singleton (including itself), so all 3 x 3 pairs qualify.
+        assert len(witnesses) == 9
+
+    def test_admits_checks_universe(self):
+        system = SetTimelinessSystem(i=1, j=2, n=3)
+        with pytest.raises(ConfigurationError):
+            system.admits(Schedule(steps=(1,), n=4))
+
+    def test_candidate_pairs_count(self):
+        system = SetTimelinessSystem(i=2, j=3, n=4)
+        pairs = list(system.candidate_pairs())
+        assert len(pairs) == 6 * 4  # C(4,2) * C(4,3)

@@ -1,0 +1,96 @@
+"""Property-based tests for set timeliness (hypothesis).
+
+The central invariant: the analytically computed minimal bound must coincide
+with the brute-force definition ("every window with i Q-steps contains a
+P-step") on arbitrary schedules and arbitrary non-empty sets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schedule import Schedule
+from repro.core.timeliness import analyze_timeliness, is_timely
+from repro.core.observations import observation_2, observation_3
+
+
+N = 4
+
+
+def schedules(min_size=0, max_size=60):
+    return st.lists(st.integers(1, N), min_size=min_size, max_size=max_size).map(
+        lambda steps: Schedule(steps=tuple(steps), n=N)
+    )
+
+
+def nonempty_subsets():
+    return st.sets(st.integers(1, N), min_size=1, max_size=N).map(frozenset)
+
+
+def brute_force_holds(schedule: Schedule, p: FrozenSet[int], q: FrozenSet[int], bound: int) -> bool:
+    """Literal Definition 1: every window with `bound` Q-steps has a P-step."""
+    steps = schedule.steps
+    for start in range(len(steps)):
+        q_seen = 0
+        p_seen = False
+        for end in range(start, len(steps)):
+            if steps[end] in p:
+                p_seen = True
+            if steps[end] in q:
+                q_seen += 1
+            if q_seen >= bound:
+                if not p_seen:
+                    return False
+                break
+    return True
+
+
+@given(schedules(), nonempty_subsets(), nonempty_subsets())
+def test_minimal_bound_matches_brute_force(schedule, p_set, q_set):
+    bound = analyze_timeliness(schedule, p_set, q_set).minimal_bound
+    assert brute_force_holds(schedule, p_set, q_set, bound)
+    if bound > 1:
+        assert not brute_force_holds(schedule, p_set, q_set, bound - 1)
+
+
+@given(schedules(), nonempty_subsets(), nonempty_subsets())
+def test_bound_never_exceeds_saturation(schedule, p_set, q_set):
+    witness = analyze_timeliness(schedule, p_set, q_set)
+    assert 1 <= witness.minimal_bound <= witness.total_q_steps + 1
+
+
+@given(schedules(), nonempty_subsets(), nonempty_subsets(), nonempty_subsets(), nonempty_subsets())
+def test_observation_2_union(schedule, p1, q1, p2, q2):
+    assert observation_2(schedule, p1, q1, p2, q2)
+
+
+@given(schedules(), nonempty_subsets(), nonempty_subsets(), st.sets(st.integers(1, N), max_size=N))
+def test_observation_3_monotonicity(schedule, p_set, q_set, extra):
+    p_superset = frozenset(p_set) | frozenset(extra)
+    q_subset = frozenset(q_set) - frozenset(extra)
+    if not q_subset:
+        q_subset = frozenset({min(q_set)})
+        if not q_subset <= frozenset(q_set):
+            return
+    assert observation_3(schedule, p_set, q_set, p_superset, q_subset)
+
+
+@given(schedules(), nonempty_subsets(), nonempty_subsets(), st.integers(1, 10))
+def test_is_timely_monotone_in_bound(schedule, p_set, q_set, bound):
+    if is_timely(schedule, p_set, q_set, bound):
+        assert is_timely(schedule, p_set, q_set, bound + 1)
+
+
+@given(schedules(max_size=40), schedules(max_size=40), nonempty_subsets(), nonempty_subsets())
+def test_concatenation_bound_bounded_by_parts(left, right, p_set, q_set):
+    """The bound of S·S' is at most (bound of S) + (bound of S') when both parts
+    end/start cleanly — more loosely, it never exceeds their sum plus one window
+    that straddles the seam, which is itself bounded by the two bounds' sum."""
+    combined = left + right
+    bound_left = analyze_timeliness(left, p_set, q_set).minimal_bound
+    bound_right = analyze_timeliness(right, p_set, q_set).minimal_bound
+    bound_combined = analyze_timeliness(combined, p_set, q_set).minimal_bound
+    assert bound_combined <= bound_left + bound_right

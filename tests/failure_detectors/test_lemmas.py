@@ -1,0 +1,105 @@
+"""Experiment E7 as tests: the Section 4.2 lemmas, checked on instrumented runs.
+
+These tests do not re-prove the lemmas; they check that the *behaviour the
+lemmas describe* actually occurs in runs of the implementation:
+
+* Counter registers are single-writer and monotonically non-decreasing
+  (the premise of Lemma 10);
+* sets whose members all crashed are accused without bound by every correct
+  process (Lemma 12), so the dead set's accusation overtakes any fixed value;
+* the eventual winner set has a correct member (Lemma 20) and all correct
+  processes eventually output its complement (Lemma 22 / Theorem 23).
+"""
+
+from repro.failure_detectors.anti_omega import KAntiOmegaAutomaton, k_subsets, make_anti_omega_algorithm
+from repro.failure_detectors.base import FD_OUTPUT, WINNER_SET
+from repro.failure_detectors.properties import check_leader_set_convergence
+from repro.memory.registers import RegisterFile
+from repro.runtime.crash import CrashPattern
+from repro.runtime.observers import OutputTracker
+from repro.runtime.simulator import Simulator
+from repro.schedules.set_timely import SetTimelyGenerator
+
+N, T, K = 4, 2, 2
+HORIZON = 80_000
+
+
+def run_instrumented(crashes=frozenset({4})):
+    crash = CrashPattern.initial_crashes(N, crashes) if crashes else CrashPattern.none(N)
+    generator = SetTimelyGenerator(
+        n=N, p_set={1, 2}, q_set={1, 2, 3}, bound=3, seed=41, crash_pattern=crash
+    )
+    registers = RegisterFile()
+    KAntiOmegaAutomaton.declare_registers(registers, n=N, k=K)
+    automata = make_anti_omega_algorithm(n=N, t=T, k=K)
+    simulator = Simulator(n=N, automata=automata, registers=registers)
+    fd_tracker = OutputTracker(key=FD_OUTPUT)
+    winner_tracker = OutputTracker(key=WINNER_SET)
+    simulator.add_observer(fd_tracker)
+    simulator.add_observer(winner_tracker)
+
+    counter_samples = {}
+
+    def sample_counters(step, pid, sim):
+        if step % 5000 != 0:
+            return
+        snapshot = {}
+        for a_set in k_subsets(N, K):
+            for q in range(1, N + 1):
+                snapshot[(a_set, q)] = sim.registers.peek(("Counter", a_set, q)) or 0
+        counter_samples[step] = snapshot
+
+    simulator.add_observer(sample_counters)
+    simulator.run(generator.infinite(), max_steps=HORIZON)
+    correct = frozenset(range(1, N + 1)) - generator.faulty
+    return simulator, fd_tracker, winner_tracker, counter_samples, correct
+
+
+class TestLemmas:
+    def test_counters_are_monotonic(self):
+        """Lemma 10's premise: every Counter[A, q] is non-decreasing over time."""
+        _, _, _, samples, _ = run_instrumented()
+        steps = sorted(samples)
+        assert len(steps) >= 3
+        for earlier, later in zip(steps, steps[1:]):
+            for key, value in samples[earlier].items():
+                assert samples[later][key] >= value
+
+    def test_dead_set_is_accused_unboundedly(self):
+        """Lemma 12: if every member of A crashed, correct processes keep accusing A."""
+        crashes = frozenset({3, 4})
+        crash = CrashPattern.initial_crashes(N, crashes)
+        generator = SetTimelyGenerator(
+            n=N, p_set={1, 2}, q_set={1, 2}, bound=3, seed=43, crash_pattern=crash
+        )
+        registers = RegisterFile()
+        KAntiOmegaAutomaton.declare_registers(registers, n=N, k=K)
+        automata = make_anti_omega_algorithm(n=N, t=T, k=K)
+        simulator = Simulator(n=N, automata=automata, registers=registers)
+        simulator.run(generator.infinite(), max_steps=30_000)
+        early = simulator.registers.peek(("Counter", (3, 4), 1)) or 0
+        simulator.run(generator.infinite(), max_steps=30_000)
+        late = simulator.registers.peek(("Counter", (3, 4), 1)) or 0
+        assert late > early > 0
+
+    def test_winner_set_contains_correct_process(self):
+        """Lemma 20: the stabilized winner set A0 has a correct member."""
+        _, _, winner_tracker, _, correct = run_instrumented()
+        verdict = check_leader_set_convergence(winner_tracker, correct)
+        assert verdict.converged
+        assert verdict.contains_correct
+
+    def test_all_correct_processes_output_complement_of_a0(self):
+        """Lemma 22: eventually every correct process outputs Πn − A0."""
+        simulator, fd_tracker, winner_tracker, _, correct = run_instrumented()
+        verdict = check_leader_set_convergence(winner_tracker, correct)
+        assert verdict.converged
+        a0 = frozenset(verdict.winner_set)
+        for pid in correct:
+            assert simulator.output_of(pid, FD_OUTPUT) == frozenset(range(1, N + 1)) - a0
+
+    def test_fd_output_always_has_n_minus_k_processes(self):
+        _, fd_tracker, _, _, correct = run_instrumented()
+        for change in fd_tracker.changes:
+            if change.value is not None:
+                assert len(change.value) == N - K

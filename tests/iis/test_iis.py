@@ -1,0 +1,106 @@
+"""Tests for the immediate snapshot object and the IIS model (experiment E9)."""
+
+import random
+
+from repro.core.timeliness import analyze_timeliness
+from repro.core.schedule import Schedule
+from repro.iis.immediate_snapshot import ImmediateSnapshot
+from repro.iis.iterated import (
+    FINAL_VIEW,
+    IteratedImmediateSnapshotAutomaton,
+    phase_shifted_round_schedule,
+)
+from repro.runtime.automaton import FunctionAutomaton
+from repro.runtime.simulator import Simulator
+
+
+def run_immediate_snapshot(n, schedule_steps, name="is"):
+    obj = ImmediateSnapshot(name=name, n=n)
+    views = {}
+
+    def factory(pid):
+        def program(automaton, ctx):
+            view = yield from obj.write_and_snapshot(automaton.pid, f"v{automaton.pid}")
+            views[automaton.pid] = view
+            automaton.publish("view", view)
+        return program
+
+    automata = {pid: FunctionAutomaton(pid=pid, n=n, function=factory(pid)) for pid in range(1, n + 1)}
+    simulator = Simulator(n=n, automata=automata)
+    simulator.run(Schedule(steps=tuple(schedule_steps), n=n))
+    return views
+
+
+class TestImmediateSnapshot:
+    def assert_is_properties(self, views, participants):
+        # Self-inclusion.
+        for pid, view in views.items():
+            assert view[pid] == f"v{pid}"
+        # Containment: views are totally ordered by inclusion.
+        ordered = sorted(views.values(), key=len)
+        for smaller, larger in zip(ordered, ordered[1:]):
+            assert set(smaller.items()) <= set(larger.items())
+        # Immediacy: q in view(p) implies view(q) ⊆ view(p).
+        for p, view_p in views.items():
+            for q in view_p:
+                if q in views:
+                    assert set(views[q].items()) <= set(view_p.items())
+
+    def test_sequential_execution(self):
+        views = run_immediate_snapshot(3, [1] * 20 + [2] * 20 + [3] * 20)
+        self.assert_is_properties(views, {1, 2, 3})
+        assert len(views[1]) == 1 and len(views[3]) == 3
+
+    def test_synchronous_execution_everyone_sees_everyone(self):
+        views = run_immediate_snapshot(3, [1, 2, 3] * 20)
+        self.assert_is_properties(views, {1, 2, 3})
+        assert all(len(view) == 3 for view in views.values())
+
+    def test_random_schedules_preserve_properties(self):
+        for seed in range(12):
+            rng = random.Random(seed)
+            steps = [rng.randint(1, 4) for _ in range(400)]
+            views = run_immediate_snapshot(4, steps, name=("is", seed))
+            if len(views) == 4:
+                self.assert_is_properties(views, {1, 2, 3, 4})
+
+
+class TestIteratedModel:
+    def run_iis(self, n, rounds, schedule):
+        automata = {
+            pid: IteratedImmediateSnapshotAutomaton(pid=pid, n=n, rounds=rounds, input_value=f"x{pid}")
+            for pid in range(1, n + 1)
+        }
+        simulator = Simulator(n=n, automata=automata)
+        simulator.run(schedule)
+        return simulator, automata
+
+    def test_synchronous_runs_propagate_everything(self):
+        n, rounds = 3, 2
+        schedule = Schedule.round_robin(n, rounds=300)
+        simulator, automata = self.run_iis(n, rounds, schedule)
+        for pid, automaton in automata.items():
+            final = simulator.output_of(pid, FINAL_VIEW)
+            assert final is not None
+            assert set(final.keys()) == {1, 2, 3}
+
+    def test_paper_remark_timely_process_can_be_invisible(self):
+        """Section 6: a process can be timely at the step level yet never appear
+        in any other process's IIS views."""
+        n, rounds, shifted = 3, 3, 3
+        schedule = phase_shifted_round_schedule(n=n, rounds=rounds, shifted=shifted)
+        simulator, automata = self.run_iis(n, rounds, schedule)
+
+        # The shifted process is timely with respect to everyone: constant bound.
+        witness = analyze_timeliness(schedule, {shifted}, {1, 2})
+        assert witness.minimal_bound <= 2 * n * (n + 1) + 1
+        assert not witness.saturated
+
+        # Yet it never shows up in the other processes' views, in any round.
+        for pid in (1, 2):
+            for view in automata[pid].views():
+                assert shifted not in view
+        # While the shifted process itself saw the others (it arrives last).
+        shifted_views = automata[shifted].views()
+        assert shifted_views
+        assert set(shifted_views[0].keys()) == {1, 2, 3}

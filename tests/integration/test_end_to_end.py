@@ -1,0 +1,89 @@
+"""Integration tests: the paper's headline results exercised through the public API."""
+
+from repro import (
+    AgreementInstance,
+    CarrierRotationAdversary,
+    SetTimelyGenerator,
+    distinct_inputs,
+    is_solvable,
+    matching_system,
+    solvability_grid,
+    solve_agreement,
+)
+from repro.analysis.metrics import run_detector_experiment
+from repro.core.solvability import separations, verify_separations
+from repro.runtime.crash import CrashPattern
+from repro.types import SystemCoordinates
+
+
+class TestTheorem24EndToEnd:
+    """(t, k, n)-agreement is solvable in S^k_{t+1,n}: run it and check the spec."""
+
+    def test_agreement_in_matching_system(self):
+        for (t, k, n, crashes) in [
+            (2, 2, 4, frozenset()),
+            (2, 1, 3, frozenset()),
+            (3, 2, 5, frozenset({5})),
+        ]:
+            problem = AgreementInstance(t=t, k=k, n=n)
+            system = matching_system(problem)
+            assert is_solvable(problem, system)
+            crash = CrashPattern.initial_crashes(n, crashes) if crashes else CrashPattern.none(n)
+            correct_prefix = [p for p in range(1, n + 1) if p not in crashes][:k]
+            generator = SetTimelyGenerator(
+                n=n,
+                p_set=frozenset(correct_prefix),
+                q_set=frozenset(range(1, t + 2)),
+                bound=3,
+                seed=101,
+                crash_pattern=crash,
+            )
+            report = solve_agreement(problem, distinct_inputs(n), generator, max_steps=800_000)
+            assert report.verdict.satisfied, (t, k, n)
+            assert len(report.verdict.distinct_decisions) <= k
+
+
+class TestTheorem26SeparationEndToEnd:
+    """One schedule family separates degree k from degree k-1 machinery."""
+
+    def test_same_schedule_separates_detector_degrees(self):
+        k = 2
+        n, t = k + 1, k
+        horizon = 60_000
+        adversary = CarrierRotationAdversary(n=n, carriers=frozenset(range(1, k + 1)))
+
+        report_k = run_detector_experiment(adversary, t=t, k=k, horizon=horizon)
+        report_k_minus_1 = run_detector_experiment(adversary, t=t, k=k - 1, horizon=horizon)
+
+        # Degree k: stabilizes early and stays put.
+        assert report_k.stabilized_early
+        assert report_k.winner_contains_correct
+
+        # Degree k-1: the winner keeps changing essentially until the horizon.
+        assert not report_k_minus_1.stabilized_early
+        assert report_k_minus_1.last_winner_change > 0.8 * horizon
+
+    def test_oracle_agrees_with_the_separation(self):
+        problem = AgreementInstance(t=2, k=2, n=3)
+        assert verify_separations(problem)
+        arms = separations(problem)
+        assert any(arm.unsolvable_problem.k == 1 for arm in arms)
+
+
+class TestTheorem27GridConsistency:
+    """The empirical solvable side must lie inside the oracle's solvable region."""
+
+    def test_solvable_cells_match_formula(self):
+        problem = AgreementInstance(t=2, k=2, n=4)
+        grid = solvability_grid(problem)
+        for (i, j), result in grid.items():
+            assert result.solvable == (i <= 2 and j - i >= 1)
+
+    def test_matching_system_is_on_the_frontier_and_solvable(self):
+        problem = AgreementInstance(t=3, k=2, n=5)
+        coords = matching_system(problem)
+        assert coords == SystemCoordinates(i=2, j=4, n=5)
+        assert is_solvable(problem, coords)
+        # One step stronger in either direction becomes unsolvable.
+        assert not is_solvable(AgreementInstance(t=4, k=2, n=5), coords)
+        assert not is_solvable(AgreementInstance(t=3, k=1, n=5), coords)

@@ -1,0 +1,84 @@
+"""Unit tests for the atomic register file (repro.memory.registers)."""
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.memory.registers import Register, RegisterFile
+
+
+class TestRegister:
+    def test_read_write(self):
+        register = Register(name="r")
+        assert register.read() is None
+        register.write(42)
+        assert register.read() == 42
+        assert register.write_count == 1
+        assert register.read_count == 2
+
+    def test_single_writer_enforced(self):
+        register = Register(name="r", writer=1)
+        register.write(1, writer=1)
+        with pytest.raises(RegisterError):
+            register.write(2, writer=2)
+
+    def test_anonymous_writer_allowed_on_owned_register(self):
+        # Writers without an identity (e.g. test scaffolding) are not blocked.
+        register = Register(name="r", writer=1)
+        register.write(3, writer=None)
+        assert register.value == 3
+
+
+class TestRegisterFile:
+    def test_lazy_creation_with_default_none(self):
+        registers = RegisterFile()
+        assert registers.read("unknown") is None
+        registers.write("unknown", 7)
+        assert registers.read("unknown") == 7
+
+    def test_declare_sets_initial_value(self):
+        registers = RegisterFile()
+        registers.declare(("Heartbeat", 1), initial=0, writer=1)
+        assert registers.read(("Heartbeat", 1)) == 0
+
+    def test_declare_array(self):
+        registers = RegisterFile()
+        registers.declare_array("Heartbeat", (1, 2, 3), initial=0, owner_from_index=True)
+        assert registers.read(("Heartbeat", 2)) == 0
+        with pytest.raises(RegisterError):
+            registers.write(("Heartbeat", 2), 5, writer=3)
+
+    def test_redeclare_resets_value(self):
+        registers = RegisterFile()
+        registers.declare("r", initial=1)
+        registers.write("r", 9)
+        registers.declare("r", initial=1)
+        assert registers.read("r") == 1
+
+    def test_peek_does_not_count(self):
+        registers = RegisterFile()
+        registers.declare("r", initial=5)
+        assert registers.peek("r") == 5
+        assert registers.total_reads() == 0
+
+    def test_operation_counts(self):
+        registers = RegisterFile()
+        registers.write("a", 1)
+        registers.write("b", 2)
+        registers.read("a")
+        assert registers.total_writes() == 2
+        assert registers.total_reads() == 1
+
+    def test_names_and_exists(self):
+        registers = RegisterFile()
+        registers.declare("a", 0)
+        registers.read("b")
+        assert registers.exists("a")
+        assert registers.exists("b")
+        assert not registers.exists("c")
+        assert set(registers.names()) == {"a", "b"}
+
+    def test_snapshot_values(self):
+        registers = RegisterFile()
+        registers.write("x", 1)
+        registers.write("y", 2)
+        assert registers.snapshot_values() == {"x": 1, "y": 2}

@@ -1,0 +1,132 @@
+"""Tests for the step-level simulator and the automaton protocol."""
+
+import pytest
+
+from repro.core.schedule import InfiniteSchedule, Schedule
+from repro.errors import SimulationError
+from repro.memory.registers import RegisterFile
+from repro.runtime.automaton import (
+    FunctionAutomaton,
+    IdleAutomaton,
+    ProcessAutomaton,
+    ReadOp,
+    WriteOp,
+    validate_operation,
+)
+from repro.runtime.simulator import Simulator, build_simulator
+
+
+class PingPong(ProcessAutomaton):
+    """Writes its pid, reads the other's register, publishes what it saw."""
+
+    def program(self, ctx):
+        other = 1 if self.pid == 2 else 2
+        yield WriteOp(("reg", self.pid), self.pid)
+        seen = yield ReadOp(("reg", other))
+        self.publish("seen", seen)
+        return seen
+
+
+class TestAutomatonProtocol:
+    def test_validate_operation_accepts_ops(self):
+        assert validate_operation(ReadOp("r")) == ReadOp("r")
+        assert validate_operation(WriteOp("r", 1)) == WriteOp("r", 1)
+
+    def test_validate_operation_rejects_other_values(self):
+        with pytest.raises(SimulationError):
+            validate_operation(42)
+
+    def test_bad_pid_rejected(self):
+        with pytest.raises(SimulationError):
+            IdleAutomaton(pid=5, n=3)
+
+    def test_function_automaton(self):
+        def program(automaton, ctx):
+            value = yield ReadOp("x")
+            automaton.publish("got", value)
+
+        automaton = FunctionAutomaton(pid=1, n=1, function=program)
+        simulator = Simulator(n=1, automata={1: automaton})
+        simulator.registers.write("x", 99)
+        simulator.run(Schedule(steps=(1, 1), n=1))
+        assert automaton.output("got") == 99
+
+
+class TestSimulatorExecution:
+    def test_one_operation_per_step(self):
+        simulator = Simulator(n=2, automata={1: PingPong(1, 2), 2: PingPong(2, 2)})
+        # Process 1 writes, process 2 writes, then both read each other.
+        simulator.run(Schedule(steps=(1, 2, 1, 2, 1, 2), n=2))
+        assert simulator.output_of(1, "seen") == 2
+        assert simulator.output_of(2, "seen") == 1
+        assert simulator.steps_taken(1) == 3
+        assert simulator.halted(1) and simulator.halted(2)
+
+    def test_interleaving_determines_reads(self):
+        simulator = Simulator(n=2, automata={1: PingPong(1, 2), 2: PingPong(2, 2)})
+        # Process 1 runs entirely before process 2 ever writes.
+        simulator.run(Schedule(steps=(1, 1, 1, 2, 2, 2), n=2))
+        assert simulator.output_of(1, "seen") is None
+        assert simulator.output_of(2, "seen") == 1
+
+    def test_halted_process_steps_are_noops_by_default(self):
+        simulator = Simulator(n=1, automata={1: PingPong(1, 1)})
+        result = simulator.run(Schedule(steps=(1,) * 10, n=1))
+        assert result.steps_executed == 10
+        assert simulator.halted(1)
+
+    def test_strict_mode_rejects_scheduling_halted_process(self):
+        simulator = Simulator(n=1, automata={1: PingPong(1, 1)}, strict=True)
+        with pytest.raises(SimulationError):
+            simulator.run(Schedule(steps=(1,) * 10, n=1))
+
+    def test_missing_automaton_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(n=2, automata={1: IdleAutomaton(1, 2)})
+
+    def test_unknown_process_in_schedule_rejected(self):
+        simulator = Simulator(n=2, automata={1: IdleAutomaton(1, 2), 2: IdleAutomaton(2, 2)})
+        with pytest.raises(SimulationError):
+            simulator.run(Schedule(steps=(1, 2), n=3))
+
+    def test_trace_matches_executed_schedule(self):
+        simulator = build_simulator(3, lambda pid: IdleAutomaton(pid, 3))
+        schedule = Schedule(steps=(3, 1, 2, 2), n=3)
+        simulator.run(schedule)
+        assert simulator.trace().steps == schedule.steps
+
+    def test_stop_condition(self):
+        simulator = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        result = simulator.run(
+            Schedule(steps=(1, 2) * 50, n=2),
+            stop_condition=lambda step, sim: step >= 7,
+        )
+        assert result.stopped_early
+        assert result.steps_executed == 7
+
+    def test_infinite_schedule_needs_budget(self):
+        simulator = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        infinite = InfiniteSchedule(n=2, step_fn=lambda index: 1 + index % 2)
+        with pytest.raises(SimulationError):
+            simulator.run(infinite)
+        result = simulator.run(infinite, max_steps=25)
+        assert result.steps_executed == 25
+
+    def test_observers_called_per_step(self):
+        seen = []
+        simulator = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        simulator.add_observer(lambda step, pid, sim: seen.append((step, pid)))
+        simulator.run(Schedule(steps=(1, 2, 1), n=2))
+        assert seen == [(1, 1), (2, 2), (3, 1)]
+
+    def test_shared_register_file_is_reused(self):
+        registers = RegisterFile()
+        registers.declare("x", initial=5)
+        simulator = Simulator(n=1, automata={1: IdleAutomaton(1, 1)}, registers=registers)
+        assert simulator.registers.peek("x") == 5
+
+    def test_run_result_outputs(self):
+        simulator = Simulator(n=2, automata={1: PingPong(1, 2), 2: PingPong(2, 2)})
+        result = simulator.run(Schedule(steps=(1, 2, 1, 2, 1, 2), n=2))
+        assert result.outputs[1]["seen"] == 2
+        assert result.halted_processes == [1, 2]
