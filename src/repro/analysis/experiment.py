@@ -1,10 +1,18 @@
 """Experiment harness: one function per paper artifact (E1–E9, A1–A3).
 
 Every function returns ``(headers, rows)`` ready for
-:func:`repro.analysis.reporting.ascii_table`.  The benchmarks call these
-functions (timing them with pytest-benchmark) and print the tables; the
-numbers recorded in EXPERIMENTS.md come from exactly these code paths, so the
-document can always be regenerated.
+:func:`repro.analysis.reporting.ascii_table`.  The benchmarks and the CLI call
+these functions and print the tables; the numbers recorded in EXPERIMENTS.md
+come from exactly these code paths, so the document can always be regenerated.
+
+Since the campaign engine landed, every *run-based* experiment (E1–E4, A1,
+A2, and the schedule-family comparison) is a thin adapter: it builds a
+declarative :class:`~repro.campaign.spec.CampaignSpec`, executes it through a
+:class:`~repro.campaign.engine.CampaignEngine` (serial by default — pass
+``engine=CampaignEngine(workers=4, cache=...)`` to parallelize and cache), and
+shapes the per-run records into the paper's table.  The solvability-oracle
+artifacts (E5) stay direct calls: they execute no schedules, only the
+Theorem 27 decision procedure.
 
 Default parameters are sized to finish in seconds on a laptop; callers can
 scale them up for higher-confidence runs.
@@ -14,60 +22,83 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..agreement.problem import distinct_inputs
-from ..agreement.runner import solve_agreement
-from ..core.schedule import Schedule
+from ..campaign.engine import CampaignEngine, CampaignResult
+from ..campaign.spec import CampaignSpec
 from ..core.solvability import classify, matching_system, separations, solvability_grid
-from ..core.timeliness import analyze_timeliness
-from ..failure_detectors.anti_omega import (
-    AccusationStatistic,
-    TimeoutPolicy,
-    constant_timeout_policy,
-    doubling_timeout_policy,
-    max_accusation_statistic,
-    median_accusation_statistic,
-    min_accusation_statistic,
-    paper_accusation_statistic,
-    paper_timeout_policy,
-)
-from ..memory.registers import RegisterFile
-from ..runtime.crash import CrashPattern
-from ..runtime.simulator import Simulator
-from ..schedules.adversary import CarrierRotationAdversary
-from ..schedules.figure1 import Figure1Generator
-from ..schedules.set_timely import SetTimelyGenerator
 from ..types import AgreementInstance
-from .metrics import run_detector_experiment
-from .timeliness_matrix import timely_sets_of_size
 
 Rows = Tuple[List[str], List[List[Any]]]
+
+#: Display labels for the ablation axes (the campaign parameters use the
+#: registry names from :mod:`repro.campaign.runner`).
+STATISTIC_LABELS = {
+    "paper": "paper (t+1)-st smallest",
+    "min": "min",
+    "max": "max",
+    "median": "median",
+}
+POLICY_LABELS = {
+    "paper": "paper (+1)",
+    "doubling": "doubling",
+    "constant": "constant",
+}
+
+
+def _engine(engine: Optional[CampaignEngine]) -> CampaignEngine:
+    return engine if engine is not None else CampaignEngine()
+
+
+def _winner_set(payload: Dict[str, Any]) -> Optional[tuple]:
+    winner = payload.get("winner_set")
+    return tuple(winner) if winner is not None else None
+
+
+def _first_k_correct(n: int, k: int, crashes: Iterable[int]) -> frozenset:
+    crashed = frozenset(crashes)
+    chosen: List[int] = []
+    for pid in range(1, n + 1):
+        if pid not in crashed:
+            chosen.append(pid)
+        if len(chosen) == k:
+            break
+    return frozenset(chosen)
+
+
+def _first_m_processes(n: int, m: int) -> frozenset:
+    return frozenset(range(1, min(m, n) + 1))
 
 
 # ----------------------------------------------------------------------
 # E1 — Figure 1: set timeliness vs. individual timeliness
 # ----------------------------------------------------------------------
 
-def figure1_experiment(blocks: Sequence[int] = (2, 4, 8, 16)) -> Rows:
+def figure1_experiment(
+    blocks: Sequence[int] = (2, 4, 8, 16),
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
     """Observed timeliness bounds on growing prefixes of the Figure 1 schedule.
 
     The paper's claim: neither ``p1`` nor ``p2`` is timely with respect to
     ``q`` (their observed bounds grow with the prefix), but the set
     ``{p1, p2}`` is timely with bound 2 (constant).
     """
-    generator = Figure1Generator()
+    spec = CampaignSpec(
+        name="figure1",
+        kind="figure1",
+        runs=[{"blocks": block_count} for block_count in blocks],
+    )
+    result = _engine(engine).run(spec)
     headers = ["blocks", "steps", "bound {p1} vs {q}", "bound {p2} vs {q}", "bound {p1,p2} vs {q}"]
-    rows: List[List[Any]] = []
-    for block_count in blocks:
-        schedule = generator.generate(generator.steps_for_blocks(block_count))
-        rows.append(
-            [
-                block_count,
-                len(schedule),
-                analyze_timeliness(schedule, {1}, {3}).minimal_bound,
-                analyze_timeliness(schedule, {2}, {3}).minimal_bound,
-                analyze_timeliness(schedule, {1, 2}, {3}).minimal_bound,
-            ]
-        )
+    rows = [
+        [
+            record.params["blocks"],
+            record.payload["steps"],
+            record.payload["bound_p1"],
+            record.payload["bound_p2"],
+            record.payload["bound_set"],
+        ]
+        for record in result.records
+    ]
     return headers, rows
 
 
@@ -88,12 +119,35 @@ def default_detector_configs() -> List[Dict[str, Any]]:
     ]
 
 
-def anti_omega_convergence_experiment(
+def detector_campaign_spec(
     configs: Optional[Sequence[Dict[str, Any]]] = None,
     horizon: int = 60_000,
     seed: int = 11,
-) -> Rows:
-    """Run the detector on certified ``S^k_{t+1,n}`` schedules and measure stabilization."""
+) -> CampaignSpec:
+    """The E2 sweep as a declarative campaign (one run per configuration)."""
+    runs: List[Dict[str, Any]] = []
+    for config in configs if configs is not None else default_detector_configs():
+        n, t, k = config["n"], config["t"], config["k"]
+        crashes = frozenset(config.get("crashes", frozenset()))
+        runs.append(
+            {
+                "schedule": "set-timely",
+                "n": n,
+                "t": t,
+                "k": k,
+                "bound": config.get("bound", 3),
+                "crashes": crashes,
+                "p_set": _first_k_correct(n, k, crashes),
+                "q_set": _first_m_processes(n, t + 1),
+                "seed": seed,
+                "horizon": horizon,
+            }
+        )
+    return CampaignSpec(name="anti-omega-convergence", kind="detector", runs=runs)
+
+
+def detector_rows(result: CampaignResult) -> Rows:
+    """Shape detector campaign records into the E2 table."""
     headers = [
         "n",
         "t",
@@ -106,52 +160,33 @@ def anti_omega_convergence_experiment(
         "winner set",
         "contains correct",
     ]
-    rows: List[List[Any]] = []
-    for config in configs if configs is not None else default_detector_configs():
-        n, t, k = config["n"], config["t"], config["k"]
-        crashes = config.get("crashes", frozenset())
-        crash_pattern = CrashPattern.initial_crashes(n, crashes) if crashes else CrashPattern.none(n)
-        p_set = _first_k_correct(n, k, crashes)
-        q_set = _first_m_processes(n, t + 1)
-        generator = SetTimelyGenerator(
-            n=n,
-            p_set=p_set,
-            q_set=q_set,
-            bound=config.get("bound", 3),
-            seed=seed,
-            crash_pattern=crash_pattern,
-        )
-        report = run_detector_experiment(generator, t=t, k=k, horizon=horizon)
-        rows.append(
-            [
-                n,
-                t,
-                k,
-                crashes,
-                report.satisfied,
-                report.stabilization_step,
-                report.margin,
-                report.winner_changes,
-                report.converged_winner_set,
-                report.winner_contains_correct,
-            ]
-        )
+    rows = [
+        [
+            record.params["n"],
+            record.params["t"],
+            record.params["k"],
+            frozenset(record.params.get("crashes") or []),
+            record.payload["satisfied"],
+            record.payload["stabilization_step"],
+            record.payload["margin"],
+            record.payload["winner_changes"],
+            _winner_set(record.payload),
+            record.payload["winner_contains_correct"],
+        ]
+        for record in result.records
+    ]
     return headers, rows
 
 
-def _first_k_correct(n: int, k: int, crashes: Iterable[int]) -> frozenset:
-    crashed = frozenset(crashes)
-    chosen: List[int] = []
-    for pid in range(1, n + 1):
-        if pid not in crashed:
-            chosen.append(pid)
-        if len(chosen) == k:
-            break
-    return frozenset(chosen)
-
-
-def _first_m_processes(n: int, m: int) -> frozenset:
-    return frozenset(range(1, min(m, n) + 1))
+def anti_omega_convergence_experiment(
+    configs: Optional[Sequence[Dict[str, Any]]] = None,
+    horizon: int = 60_000,
+    seed: int = 11,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Run the detector on certified ``S^k_{t+1,n}`` schedules and measure stabilization."""
+    spec = detector_campaign_spec(configs=configs, horizon=horizon, seed=seed)
+    return detector_rows(_engine(engine).run(spec))
 
 
 def schedule_family_comparison_experiment(
@@ -159,6 +194,7 @@ def schedule_family_comparison_experiment(
     n: int = 4,
     t: int = 2,
     k: int = 2,
+    engine: Optional[CampaignEngine] = None,
 ) -> Rows:
     """Detector behaviour across qualitatively different schedule families.
 
@@ -172,9 +208,52 @@ def schedule_family_comparison_experiment(
     settles (this is the E4 separation, shown here alongside the positive
     families for context).
     """
-    from ..schedules.adversary import EventuallySynchronousGenerator
-    from ..schedules.round_robin import RoundRobinGenerator
-
+    runs: List[Dict[str, Any]] = [
+        {
+            "family": "round-robin (synchronous)",
+            "schedule": "round-robin",
+            "n": n,
+            "t": t,
+            "k": k,
+            "horizon": horizon,
+        },
+        {
+            "family": "eventually synchronous",
+            "schedule": "eventually-synchronous",
+            "chaos_steps": 500,
+            "seed": 3,
+            "n": n,
+            "t": t,
+            "k": k,
+            "horizon": horizon,
+        },
+        {
+            "family": "set-timely (no member individually timely)",
+            "schedule": "set-timely",
+            "n": n,
+            "t": t,
+            "k": k,
+            "p_set": frozenset(range(1, k + 1)),
+            "q_set": _first_m_processes(n, t + 1),
+            "bound": 3,
+            "seed": 3,
+            "horizon": horizon,
+        },
+    ]
+    if k >= 2:
+        runs.append(
+            {
+                "family": "carrier rotation, asked for a smaller timely set than exists",
+                "schedule": "carrier-rotation",
+                "n": k + 1,
+                "t": k,
+                "k": k - 1,
+                "carriers": frozenset(range(1, k + 1)),
+                "horizon": horizon,
+            }
+        )
+    spec = CampaignSpec(name="schedule-families", kind="detector", runs=runs)
+    result = _engine(engine).run(spec)
     headers = [
         "schedule family",
         "n",
@@ -185,52 +264,19 @@ def schedule_family_comparison_experiment(
         "winner changes",
         "winner contains correct",
     ]
-    families = [
-        ("round-robin (synchronous)", RoundRobinGenerator(n), n, k),
-        (
-            "eventually synchronous",
-            EventuallySynchronousGenerator(n, chaos_steps=500, seed=3),
-            n,
-            k,
-        ),
-        (
-            "set-timely (no member individually timely)",
-            SetTimelyGenerator(
-                n=n,
-                p_set=frozenset(range(1, k + 1)),
-                q_set=_first_m_processes(n, t + 1),
-                bound=3,
-                seed=3,
-            ),
-            n,
-            k,
-        ),
+    rows = [
+        [
+            record.params["family"],
+            record.params["n"],
+            record.params["k"],
+            record.payload["satisfied"],
+            record.payload["stabilized_early"],
+            record.payload["last_winner_change"],
+            record.payload["winner_changes"],
+            record.payload["winner_contains_correct"],
+        ]
+        for record in result.records
     ]
-    if k >= 2:
-        families.append(
-            (
-                "carrier rotation, asked for a smaller timely set than exists",
-                CarrierRotationAdversary(n=k + 1, carriers=frozenset(range(1, k + 1))),
-                k + 1,
-                k - 1,
-            )
-        )
-    rows: List[List[Any]] = []
-    for name, generator, family_n, degree in families:
-        family_t = t if family_n == n else family_n - 1
-        report = run_detector_experiment(generator, t=family_t, k=degree, horizon=horizon)
-        rows.append(
-            [
-                name,
-                family_n,
-                degree,
-                report.satisfied,
-                report.stabilized_early,
-                report.last_winner_change,
-                report.winner_changes,
-                report.winner_contains_correct,
-            ]
-        )
     return headers, rows
 
 
@@ -252,12 +298,48 @@ def default_agreement_configs() -> List[Dict[str, Any]]:
     ]
 
 
+def agreement_campaign_spec(
+    configs: Optional[Sequence[Dict[str, Any]]] = None,
+    horizon: int = 400_000,
+    seed: int = 23,
+) -> CampaignSpec:
+    """The E3 sweep as a declarative campaign."""
+    runs: List[Dict[str, Any]] = []
+    for config in configs if configs is not None else default_agreement_configs():
+        n, t, k = config["n"], config["t"], config["k"]
+        crashes = frozenset(config.get("crashes", frozenset()))
+        if k <= t:
+            p_set = _first_k_correct(n, k, crashes)
+            q_set = _first_m_processes(n, t + 1)
+        else:
+            p_set = _first_k_correct(n, 1, crashes)
+            q_set = frozenset(range(1, n + 1))
+        runs.append(
+            {
+                "schedule": "set-timely",
+                "n": n,
+                "t": t,
+                "k": k,
+                "crashes": crashes,
+                "p_set": p_set,
+                "q_set": q_set,
+                "bound": 3,
+                "seed": seed,
+                "horizon": horizon,
+            }
+        )
+    return CampaignSpec(name="agreement", kind="agreement", runs=runs)
+
+
 def agreement_experiment(
     configs: Optional[Sequence[Dict[str, Any]]] = None,
     horizon: int = 400_000,
     seed: int = 23,
+    engine: Optional[CampaignEngine] = None,
 ) -> Rows:
     """Solve each configured instance on a certified schedule of its matching system."""
+    spec = agreement_campaign_spec(configs=configs, horizon=horizon, seed=seed)
+    result = _engine(engine).run(spec)
     headers = [
         "problem",
         "system",
@@ -269,45 +351,20 @@ def agreement_experiment(
         "max decision step",
         "steps executed",
     ]
-    rows: List[List[Any]] = []
-    for config in configs if configs is not None else default_agreement_configs():
-        n, t, k = config["n"], config["t"], config["k"]
-        crashes = config.get("crashes", frozenset())
-        problem = AgreementInstance(t=t, k=k, n=n)
-        crash_pattern = CrashPattern.initial_crashes(n, crashes) if crashes else CrashPattern.none(n)
-        if k <= t:
-            p_set = _first_k_correct(n, k, crashes)
-            q_set = _first_m_processes(n, t + 1)
-        else:
-            p_set = _first_k_correct(n, 1, crashes)
-            q_set = frozenset(range(1, n + 1))
-        generator = SetTimelyGenerator(
-            n=n,
-            p_set=p_set,
-            q_set=q_set,
-            bound=3,
-            seed=seed,
-            crash_pattern=crash_pattern,
-        )
-        report = solve_agreement(
-            problem=problem,
-            inputs=distinct_inputs(n),
-            schedule=generator,
-            max_steps=horizon,
-        )
-        rows.append(
-            [
-                problem.describe(),
-                matching_system(problem).describe(),
-                "trivial" if k > t else "anti-Ω + k instances",
-                crashes,
-                report.all_correct_decided,
-                len(report.verdict.distinct_decisions),
-                report.verdict.valid,
-                report.max_decision_step(),
-                report.steps_executed,
-            ]
-        )
+    rows = [
+        [
+            record.payload["problem"],
+            record.payload["system"],
+            record.payload["protocol"],
+            frozenset(record.params.get("crashes") or []),
+            record.payload["all_correct_decided"],
+            record.payload["distinct_decisions"],
+            record.payload["valid"],
+            record.payload["max_decision_step"],
+            record.payload["steps_executed"],
+        ]
+        for record in result.records
+    ]
     return headers, rows
 
 
@@ -315,7 +372,11 @@ def agreement_experiment(
 # E4 — Theorem 26 separation on a single adversary schedule family
 # ----------------------------------------------------------------------
 
-def separation_experiment(k: int = 2, horizons: Sequence[int] = (40_000, 80_000, 160_000)) -> Rows:
+def separation_experiment(
+    k: int = 2,
+    horizons: Sequence[int] = (40_000, 80_000, 160_000),
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
     """The separation ``S^k_{t+1,n}`` solves (t,k,n) but not (t,k-1,n), with n = k+1, t = k.
 
     The same carrier-rotation schedule is fed to the detector configured for
@@ -329,6 +390,23 @@ def separation_experiment(k: int = 2, horizons: Sequence[int] = (40_000, 80_000,
         raise ValueError("the separation experiment needs k >= 2 so that k-1 >= 1")
     n = k + 1
     t = k
+    runs: List[Dict[str, Any]] = [
+        {
+            "schedule": "carrier-rotation",
+            "n": n,
+            "t": t,
+            "k": degree,
+            "carriers": frozenset(range(1, k + 1)),
+            "horizon": horizon,
+            "prefix_length": 20_000,
+            "count_size": degree,
+            "count_bound": 8,
+        }
+        for degree in (k, k - 1)
+        for horizon in horizons
+    ]
+    spec = CampaignSpec(name="separation", kind="separation-probe", runs=runs)
+    result = _engine(engine).run(spec)
     headers = [
         "degree",
         "horizon",
@@ -338,24 +416,18 @@ def separation_experiment(k: int = 2, horizons: Sequence[int] = (40_000, 80_000,
         "stabilized early",
         "timely sets of this size (bound<=8)",
     ]
-    rows: List[List[Any]] = []
-    for degree in (k, k - 1):
-        for horizon in horizons:
-            adversary = CarrierRotationAdversary(n=n, carriers=frozenset(range(1, k + 1)))
-            report = run_detector_experiment(adversary, t=t, k=degree, horizon=horizon)
-            prefix = adversary.generate(min(horizon, 20_000))
-            timely_count = len(timely_sets_of_size(prefix, degree, bound=8))
-            rows.append(
-                [
-                    degree,
-                    horizon,
-                    report.satisfied,
-                    report.last_winner_change,
-                    report.winner_changes,
-                    report.stabilized_early,
-                    timely_count,
-                ]
-            )
+    rows = [
+        [
+            record.params["k"],
+            record.params["horizon"],
+            record.payload["satisfied"],
+            record.payload["last_winner_change"],
+            record.payload["winner_changes"],
+            record.payload["stabilized_early"],
+            record.payload["timely_count"],
+        ]
+        for record in result.records
+    ]
     return headers, rows
 
 
@@ -366,7 +438,11 @@ def separation_experiment(k: int = 2, horizons: Sequence[int] = (40_000, 80_000,
 def solvability_map_experiment(
     problems: Sequence[Tuple[int, int, int]] = ((2, 2, 4), (2, 1, 4), (3, 2, 5), (4, 3, 6)),
 ) -> Dict[str, Dict[Tuple[int, int], Any]]:
-    """Theorem 27 grids for several (t, k, n) instances, keyed by problem name."""
+    """Theorem 27 grids for several (t, k, n) instances, keyed by problem name.
+
+    Pure oracle computation — no schedules are executed, so this artifact does
+    not go through the campaign engine.
+    """
     grids: Dict[str, Dict[Tuple[int, int], Any]] = {}
     for (t, k, n) in problems:
         problem = AgreementInstance(t=t, k=k, n=n)
@@ -405,6 +481,7 @@ def accusation_ablation_experiment(
     n: int = 4,
     t: int = 2,
     k: int = 2,
+    engine: Optional[CampaignEngine] = None,
 ) -> Rows:
     """Replace the (t+1)-st smallest accusation statistic and observe the damage.
 
@@ -426,12 +503,44 @@ def accusation_ablation_experiment(
       more contrived failure pattern than this workload produces within the
       default horizon.)
     """
-    statistics: List[Tuple[str, AccusationStatistic]] = [
-        ("paper (t+1)-st smallest", paper_accusation_statistic),
-        ("min", min_accusation_statistic),
-        ("max", max_accusation_statistic),
-        ("median", median_accusation_statistic),
+    crashed = frozenset({1, 2})
+    scenarios: List[Dict[str, Any]] = [
+        {
+            "scenario": "crashed-min-set",
+            "schedule": "set-timely",
+            "n": n,
+            "t": t,
+            "k": k,
+            "crashes": crashed,
+            "p_set": _first_k_correct(n, k, crashed),
+            "q_set": frozenset(range(1, n + 1)) - crashed,
+            "bound": 3,
+            "seed": 5,
+            "horizon": horizon,
+        },
+        {
+            "scenario": "bursty-observer",
+            "schedule": "set-timely",
+            "n": n,
+            "t": t,
+            "k": k,
+            "p_set": frozenset(range(1, k + 1)),
+            "q_set": _first_m_processes(n, t + 1),
+            "bound": 3,
+            "seed": 5,
+            "burst_set": frozenset({n}),
+            "burst_base": 400,
+            "burst_growth": 200,
+            "horizon": horizon,
+        },
     ]
+    spec = CampaignSpec(
+        name="accusation-ablation",
+        kind="detector",
+        runs=scenarios,
+        axes={"statistic": ["paper", "min", "max", "median"]},
+    )
+    result = _engine(engine).run(spec)
     headers = [
         "scenario",
         "statistic",
@@ -441,55 +550,18 @@ def accusation_ablation_experiment(
         "winner changes",
         "last winner change",
     ]
-    rows: List[List[Any]] = []
-
-    scenarios: List[Tuple[str, SetTimelyGenerator]] = []
-    crashed = frozenset({1, 2})
-    scenarios.append(
-        (
-            "crashed-min-set",
-            SetTimelyGenerator(
-                n=n,
-                p_set=_first_k_correct(n, k, crashed),
-                q_set=frozenset(range(1, n + 1)) - crashed,
-                bound=3,
-                seed=5,
-                crash_pattern=CrashPattern.initial_crashes(n, crashed),
-            ),
-        )
-    )
-    scenarios.append(
-        (
-            "bursty-observer",
-            SetTimelyGenerator(
-                n=n,
-                p_set=frozenset(range(1, k + 1)),
-                q_set=_first_m_processes(n, t + 1),
-                bound=3,
-                seed=5,
-                burst_set=frozenset({n}),
-                burst_base=400,
-                burst_growth=200,
-            ),
-        )
-    )
-
-    for scenario_name, generator in scenarios:
-        for name, statistic in statistics:
-            report = run_detector_experiment(
-                generator, t=t, k=k, horizon=horizon, accusation_statistic=statistic
-            )
-            rows.append(
-                [
-                    scenario_name,
-                    name,
-                    report.satisfied,
-                    report.converged_winner_set,
-                    report.winner_contains_correct,
-                    report.winner_changes,
-                    report.last_winner_change,
-                ]
-            )
+    rows = [
+        [
+            record.params["scenario"],
+            STATISTIC_LABELS[record.params["statistic"]],
+            record.payload["satisfied"],
+            _winner_set(record.payload),
+            record.payload["winner_contains_correct"],
+            record.payload["winner_changes"],
+            record.payload["last_winner_change"],
+        ]
+        for record in result.records
+    ]
     return headers, rows
 
 
@@ -499,6 +571,7 @@ def timeout_ablation_experiment(
     t: int = 2,
     k: int = 2,
     bound: int = 400,
+    engine: Optional[CampaignEngine] = None,
 ) -> Rows:
     """Compare timeout growth policies (line 17): +1 (paper), doubling, constant.
 
@@ -509,11 +582,23 @@ def timeout_ablation_experiment(
     churns; the paper's +1 policy and the doubling policy both stabilize, the
     doubling one after fewer expirations.
     """
-    policies: List[Tuple[str, TimeoutPolicy]] = [
-        ("paper (+1)", paper_timeout_policy),
-        ("doubling", doubling_timeout_policy),
-        ("constant", constant_timeout_policy),
-    ]
+    spec = CampaignSpec(
+        name="timeout-ablation",
+        kind="detector",
+        base={
+            "schedule": "set-timely",
+            "n": n,
+            "t": t,
+            "k": k,
+            "p_set": frozenset(range(1, k + 1)),
+            "q_set": _first_m_processes(n, t + 1),
+            "bound": bound,
+            "seed": 17,
+            "horizon": horizon,
+        },
+        axes={"policy": ["paper", "doubling", "constant"]},
+    )
+    result = _engine(engine).run(spec)
     headers = [
         "policy",
         "satisfied",
@@ -522,24 +607,15 @@ def timeout_ablation_experiment(
         "last winner change",
         "margin",
     ]
-    rows: List[List[Any]] = []
-    for name, policy in policies:
-        generator = SetTimelyGenerator(
-            n=n,
-            p_set=frozenset(range(1, k + 1)),
-            q_set=_first_m_processes(n, t + 1),
-            bound=bound,
-            seed=17,
-        )
-        report = run_detector_experiment(generator, t=t, k=k, horizon=horizon, timeout_policy=policy)
-        rows.append(
-            [
-                name,
-                report.satisfied,
-                report.stabilization_step,
-                report.winner_changes,
-                report.last_winner_change,
-                report.margin,
-            ]
-        )
+    rows = [
+        [
+            POLICY_LABELS[record.params["policy"]],
+            record.payload["satisfied"],
+            record.payload["stabilization_step"],
+            record.payload["winner_changes"],
+            record.payload["last_winner_change"],
+            record.payload["margin"],
+        ]
+        for record in result.records
+    ]
     return headers, rows

@@ -74,8 +74,16 @@ def run_detector_experiment(
     horizon: int,
     accusation_statistic: AccusationStatistic = paper_accusation_statistic,
     timeout_policy: TimeoutPolicy = paper_timeout_policy,
+    fast: bool = False,
 ) -> DetectorConvergenceReport:
-    """Run the Figure 2 algorithm alone on a generated schedule and measure it."""
+    """Run the Figure 2 algorithm alone on a generated schedule and measure it.
+
+    With ``fast=True`` the run goes through :meth:`Simulator.run_fast` fed by
+    the generator's raw step stream (skipping the memoized
+    :class:`InfiniteSchedule` wrapper).  The report is value-identical either
+    way — the fast path preserves tracker change sequences exactly — so the
+    campaign engine uses ``fast=True`` unconditionally.
+    """
     n = generator.n
     if horizon < 1:
         raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
@@ -89,7 +97,10 @@ def run_detector_experiment(
     winner_tracker = OutputTracker(key=WINNER_SET)
     simulator.add_observer(fd_tracker)
     simulator.add_observer(winner_tracker)
-    simulator.run(generator.infinite(), max_steps=horizon)
+    if fast:
+        simulator.run_fast(generator.stream(), max_steps=horizon)
+    else:
+        simulator.run(generator.infinite(), max_steps=horizon)
 
     correct = universe(n) - generator.faulty
     verdict = check_k_anti_omega(

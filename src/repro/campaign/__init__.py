@@ -1,0 +1,44 @@
+"""Campaign engine: declarative experiment grids, fanned out across workers.
+
+A *campaign* is a declarative description of many simulator runs — a base
+configuration, an optional explicit run list, and an optional grid of axes
+whose cross product is swept (schedule family × (n, t, k) × timeout/accusation
+policy × seed).  The engine expands the grid deterministically, deduplicates
+repeated (schedule, algorithm) configurations through a content-addressed
+result cache, executes the remaining runs serially or across worker processes
+with chunked dispatch, and streams structured per-run records (JSON-lines)
+into the :mod:`repro.analysis.reporting` aggregation helpers.
+
+Layering::
+
+    CampaignSpec ──expand──▶ [RunSpec] ──engine──▶ [RunRecord] ──▶ tables
+                                  │                     ▲
+                                  └── ResultCache ──────┘   (content-addressed)
+
+Every run kind executes through :meth:`Simulator.run_fast`, the slim hot path
+of the simulator; the experiment harnesses in :mod:`repro.analysis.experiment`
+are thin adapters that build a spec, run it through an engine, and shape the
+records into the paper's tables.
+"""
+
+from .cache import ResultCache
+from .engine import CampaignEngine, CampaignResult
+from .records import RunRecord, read_jsonl, write_jsonl
+from .spec import CampaignSpec, RunSpec, canonical_json, content_key
+from .runner import available_kinds, execute_spec, register_kind
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignSpec",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "available_kinds",
+    "canonical_json",
+    "content_key",
+    "execute_spec",
+    "read_jsonl",
+    "register_kind",
+    "write_jsonl",
+]

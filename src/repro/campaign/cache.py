@@ -1,0 +1,78 @@
+"""Content-addressed result cache for campaign runs.
+
+A run's identity is the SHA-256 of its canonical ``(kind, params)`` JSON (see
+:func:`repro.campaign.spec.content_key`).  Because every run kind is
+deterministic given its parameters, equal keys mean equal results — so the
+cache both deduplicates repeated configurations *within* a campaign and
+persists results *across* campaigns when given a directory.
+
+Without a directory the cache is a plain in-process dictionary; with one,
+payloads are stored as ``<dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+directories small for large sweeps).  Writes go through a temp file + rename
+so a crashed run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+class ResultCache:
+    """Content-addressed payload store with hit/miss accounting."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None; updates hit/miss counters."""
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            path = self._path_for(key)
+            if path.is_file():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    payload = None
+                else:
+                    self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(payload)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a payload under its content key (memory + optional directory)."""
+        self._memory[key] = dict(payload)
+        if self.directory is None:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def contains(self, key: str) -> bool:
+        """Whether the key is cached (no counter update)."""
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if self.directory is None:
+            return len(self._memory)
+        on_disk = sum(1 for _ in self.directory.glob("*/*.json"))
+        return max(on_disk, len(self._memory))

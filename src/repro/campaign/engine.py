@@ -1,0 +1,224 @@
+"""The campaign engine: expansion, deduplication, dispatch, aggregation.
+
+Execution pipeline for one :class:`~repro.campaign.spec.CampaignSpec`:
+
+1. **Expand** the spec into its deterministic run list.
+2. **Deduplicate** by content key — repeated (schedule, algorithm)
+   configurations execute once and fan their payload back to every position.
+3. **Resolve** keys against the optional :class:`~repro.campaign.cache.ResultCache`.
+4. **Dispatch** the remaining unique runs: inline when ``workers <= 1``,
+   otherwise chunked across a ``ProcessPoolExecutor`` (fork start method when
+   available — workers inherit the loaded library, so spawn cost stays in the
+   low milliseconds).
+5. **Assemble** one :class:`~repro.campaign.records.RunRecord` per grid
+   position, in grid order — the record list is identical for any worker
+   count, which is what the worker-invariance tests pin down.
+6. Optionally **stream** the records to a JSON-lines file.
+
+Results are returned as a :class:`CampaignResult`, whose ``table()`` renders a
+generic parameters×payload table; the paper-specific experiment harnesses
+build their own tables directly from the records.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from .cache import ResultCache
+from .records import RunRecord, record_columns, write_jsonl
+from .runner import execute_spec
+from .spec import CampaignSpec, RunSpec
+
+
+def _execute_chunk(chunk: List[RunSpec]) -> List[Dict[str, Any]]:
+    """Worker-side entry point: execute a chunk of unique runs in order.
+
+    The cyclic GC is paused for the duration of the chunk — runs allocate heavily
+    but create no reference cycles worth collecting mid-run.
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return [execute_spec(spec) for spec in chunk]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+@dataclass
+class CampaignResult:
+    """Everything one engine invocation produced."""
+
+    spec: CampaignSpec
+    records: List[RunRecord]
+    elapsed: float
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduplicated: int = 0
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """The payload of every run, in grid order."""
+        return [record.payload for record in self.records]
+
+    def table(self) -> Tuple[List[str], List[List[Any]]]:
+        """Generic table: parameter columns then payload columns, in first-seen order."""
+        param_keys, payload_keys = record_columns(self.records)
+        headers = param_keys + payload_keys
+        rows = [
+            [record.params.get(key) for key in param_keys]
+            + [record.payload.get(key) for key in payload_keys]
+            for record in self.records
+        ]
+        return headers, rows
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.spec.name}: {len(self.records)} run(s), "
+            f"{self.deduplicated} deduplicated, {self.cache_hits} cache hit(s), "
+            f"{self.workers} worker(s), {self.elapsed:.2f}s"
+        )
+
+
+class CampaignEngine:
+    """Executes campaign specs (see module docstring for the pipeline).
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` executes inline; ``> 1`` dispatches chunks to that many
+        worker processes.
+    cache:
+        Optional content-addressed result cache.  Even without one, identical
+        runs within a campaign are still executed only once.
+    chunk_size:
+        Runs per dispatched task.  Defaults to spreading the pending runs
+        roughly twice over the workers (amortizes task overhead while keeping
+        the pool load-balanced).
+    jsonl_path:
+        When set, the record list is written there as JSON-lines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+        jsonl_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = max(1, workers)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
+
+    # ------------------------------------------------------------------
+    def run(self, spec: CampaignSpec) -> CampaignResult:
+        """Execute a campaign and return its records in grid order."""
+        started = time.perf_counter()
+        run_specs = spec.expand()
+        keys = [run_spec.key() for run_spec in run_specs]
+
+        # Deduplicate: first occurrence of each key executes, the rest reuse it.
+        unique_specs: Dict[str, RunSpec] = {}
+        for run_spec, key in zip(run_specs, keys):
+            unique_specs.setdefault(key, run_spec)
+        deduplicated = len(run_specs) - len(unique_specs)
+
+        payloads: Dict[str, Dict[str, Any]] = {}
+        cache_hits = 0
+        cache_misses = 0
+        if self.cache is not None:
+            for key in unique_specs:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    payloads[key] = cached
+                    cache_hits += 1
+                else:
+                    cache_misses += 1
+
+        pending = [(key, run_spec) for key, run_spec in unique_specs.items() if key not in payloads]
+        elapsed_by_key: Dict[str, float] = {}
+        if pending:
+            if self.workers > 1:
+                self._execute_pool(pending, payloads, elapsed_by_key)
+            else:
+                self._execute_inline(pending, payloads, elapsed_by_key)
+            if self.cache is not None:
+                for key, _ in pending:
+                    self.cache.put(key, payloads[key])
+
+        records = [
+            RunRecord(
+                index=index,
+                key=key,
+                kind=run_spec.kind,
+                params=run_spec.param_dict(),
+                payload=payloads[key],
+                cached=key not in elapsed_by_key,
+                elapsed=elapsed_by_key.get(key, 0.0),
+            )
+            for index, (run_spec, key) in enumerate(zip(run_specs, keys))
+        ]
+        if self.jsonl_path is not None:
+            write_jsonl(records, self.jsonl_path)
+        return CampaignResult(
+            spec=spec,
+            records=records,
+            elapsed=time.perf_counter() - started,
+            workers=self.workers,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            deduplicated=deduplicated,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_inline(
+        self,
+        pending: List[Tuple[str, RunSpec]],
+        payloads: Dict[str, Dict[str, Any]],
+        elapsed_by_key: Dict[str, float],
+    ) -> None:
+        for key, run_spec in pending:
+            run_started = time.perf_counter()
+            payloads[key] = _execute_chunk([run_spec])[0]
+            elapsed_by_key[key] = time.perf_counter() - run_started
+
+    def _execute_pool(
+        self,
+        pending: List[Tuple[str, RunSpec]],
+        payloads: Dict[str, Dict[str, Any]],
+        elapsed_by_key: Dict[str, float],
+    ) -> None:
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, len(pending) // (self.workers * 2) or 1)
+        chunks: List[List[Tuple[str, RunSpec]]] = [
+            pending[start : start + chunk_size] for start in range(0, len(pending), chunk_size)
+        ]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
+            chunk_started = time.perf_counter()
+            results = pool.map(_execute_chunk, [[spec for _, spec in chunk] for chunk in chunks])
+            for chunk, chunk_payloads in zip(chunks, results):
+                chunk_elapsed = time.perf_counter() - chunk_started
+                per_run = chunk_elapsed / max(1, len(chunk))
+                for (key, _), payload in zip(chunk, chunk_payloads):
+                    payloads[key] = payload
+                    # Wall-clock attribution per run is approximate under a
+                    # pool (runs overlap); grid order and payloads are exact.
+                    elapsed_by_key[key] = per_run
+                chunk_started = time.perf_counter()

@@ -1,0 +1,104 @@
+"""Structured per-run records and their JSON-lines persistence.
+
+Every executed (or cache-served) run produces one :class:`RunRecord`; a
+campaign's record list, in grid order, is the ground truth every table is
+aggregated from.  Records are plain JSON all the way down, so a JSON-lines
+file written by one campaign can be re-aggregated later (``repro report``)
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's identity, parameters and measured payload.
+
+    Attributes
+    ----------
+    index:
+        Position in the campaign's expanded grid (stable across worker counts).
+    key:
+        Content address of ``(kind, params)`` — the cache key.
+    kind:
+        Experiment kind that executed the run.
+    params:
+        The run's parameters (JSON-normalized).
+    payload:
+        The run's measured results (JSON-normalized).
+    cached:
+        True when the payload was served from the result cache.
+    elapsed:
+        Wall-clock seconds spent executing this run (0.0 for cache hits).
+    """
+
+    index: int
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    payload: Dict[str, Any]
+    cached: bool = False
+    elapsed: float = 0.0
+
+    def to_json_line(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_json_line(line: str) -> "RunRecord":
+        raw = json.loads(line)
+        return RunRecord(
+            index=int(raw["index"]),
+            key=str(raw["key"]),
+            kind=str(raw["kind"]),
+            params=dict(raw["params"]),
+            payload=dict(raw["payload"]),
+            cached=bool(raw.get("cached", False)),
+            elapsed=float(raw.get("elapsed", 0.0)),
+        )
+
+
+def record_columns(records: Iterable[RunRecord]) -> "tuple[List[str], List[str]]":
+    """Parameter and payload column names across records, in first-seen order.
+
+    Shared by every record-level tabulation (``CampaignResult.table()``,
+    ``repro report``) so column discovery and ordering cannot diverge.
+    """
+    param_keys: List[str] = []
+    payload_keys: List[str] = []
+    for record in records:
+        for key in record.params:
+            if key not in param_keys:
+                param_keys.append(key)
+        for key in record.payload:
+            if key not in payload_keys:
+                payload_keys.append(key)
+    return param_keys, payload_keys
+
+
+def write_jsonl(records: Iterable[RunRecord], path: Union[str, Path]) -> int:
+    """Write records to a JSON-lines file (one record per line); returns the count."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_json_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> List[RunRecord]:
+    """Read a JSON-lines record file back, skipping blank lines."""
+    records: List[RunRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(RunRecord.from_json_line(line))
+    return records

@@ -1,0 +1,240 @@
+"""Execution of one campaign run: the experiment-kind registry.
+
+A *kind* maps a JSON-normalized parameter dict to a JSON-normalized payload
+dict.  Kinds must be deterministic functions of their parameters — that is
+what makes content-addressed caching sound — and must only produce plain JSON
+values, so results round-trip unchanged through the cache, worker processes
+and JSON-lines files.
+
+Built-in kinds:
+
+``detector``
+    Run the Figure 2 k-anti-Ω detector alone on a schedule family and measure
+    stabilization (:func:`repro.analysis.metrics.run_detector_experiment`,
+    through the simulator's fast path).
+``separation-probe``
+    A ``detector`` run plus a count of timely sets of a given size on a finite
+    prefix — the E4 separation measurement.
+``agreement``
+    Solve one (t, k, n)-agreement instance end to end (E3).
+``figure1``
+    Observed timeliness bounds on a Figure 1 schedule prefix (E1; pure
+    analysis, no simulator).
+
+Schedule families are part of the run parameters (``schedule`` selects the
+generator; the remaining schedule parameters configure it), so a campaign can
+sweep schedule families exactly like it sweeps numeric axes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..failure_detectors.anti_omega import (
+    constant_timeout_policy,
+    doubling_timeout_policy,
+    max_accusation_statistic,
+    median_accusation_statistic,
+    min_accusation_statistic,
+    paper_accusation_statistic,
+    paper_timeout_policy,
+)
+from ..runtime.crash import CrashPattern
+from ..schedules.adversary import CarrierRotationAdversary, EventuallySynchronousGenerator
+from ..schedules.base import ScheduleGenerator
+from ..schedules.round_robin import RoundRobinGenerator
+from ..schedules.set_timely import SetTimelyGenerator
+from .spec import RunSpec
+
+#: A kind is a pure function params -> payload (both JSON-normalized dicts).
+KindFunction = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+_KINDS: Dict[str, KindFunction] = {}
+
+ACCUSATION_STATISTICS = {
+    "paper": paper_accusation_statistic,
+    "min": min_accusation_statistic,
+    "max": max_accusation_statistic,
+    "median": median_accusation_statistic,
+}
+
+TIMEOUT_POLICIES = {
+    "paper": paper_timeout_policy,
+    "doubling": doubling_timeout_policy,
+    "constant": constant_timeout_policy,
+}
+
+
+def register_kind(name: str, function: KindFunction) -> None:
+    """Register (or replace) an experiment kind."""
+    _KINDS[name] = function
+
+
+def available_kinds() -> List[str]:
+    """Names of all registered kinds, sorted."""
+    return sorted(_KINDS)
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Execute one run and return its payload (the worker-side entry point)."""
+    function = _KINDS.get(spec.kind)
+    if function is None:
+        raise ConfigurationError(
+            f"unknown experiment kind {spec.kind!r}; registered: {available_kinds()}"
+        )
+    return function(spec.param_dict())
+
+
+# ----------------------------------------------------------------------
+# Schedule construction from JSON parameters
+# ----------------------------------------------------------------------
+
+def _crash_pattern(n: int, params: Dict[str, Any]) -> CrashPattern:
+    crashes = params.get("crashes") or []
+    if crashes:
+        return CrashPattern.initial_crashes(n, frozenset(int(p) for p in crashes))
+    return CrashPattern.none(n)
+
+
+def build_generator(params: Dict[str, Any]) -> ScheduleGenerator:
+    """Instantiate the schedule family selected by ``params['schedule']``."""
+    family = params.get("schedule", "set-timely")
+    n = int(params["n"])
+    crash_pattern = _crash_pattern(n, params)
+    if family == "set-timely":
+        return SetTimelyGenerator(
+            n=n,
+            p_set=frozenset(int(p) for p in params["p_set"]),
+            q_set=frozenset(int(q) for q in params["q_set"]),
+            bound=int(params.get("bound", 3)),
+            seed=int(params.get("seed", 0)),
+            crash_pattern=crash_pattern,
+            burst_set=frozenset(int(b) for b in params.get("burst_set") or []),
+            burst_base=int(params.get("burst_base", 0)),
+            burst_growth=int(params.get("burst_growth", 0)),
+        )
+    if family == "round-robin":
+        return RoundRobinGenerator(n, crash_pattern=crash_pattern)
+    if family == "eventually-synchronous":
+        return EventuallySynchronousGenerator(
+            n,
+            chaos_steps=int(params.get("chaos_steps", 200)),
+            seed=int(params.get("seed", 0)),
+            crash_pattern=crash_pattern,
+        )
+    if family == "carrier-rotation":
+        return CarrierRotationAdversary(
+            n=n,
+            carriers=frozenset(int(c) for c in params["carriers"]),
+            crash_pattern=crash_pattern,
+        )
+    raise ConfigurationError(f"unknown schedule family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# Built-in kinds
+# ----------------------------------------------------------------------
+
+def _detector_report(params: Dict[str, Any]):
+    from ..analysis.metrics import run_detector_experiment
+
+    statistic = ACCUSATION_STATISTICS.get(params.get("statistic", "paper"))
+    policy = TIMEOUT_POLICIES.get(params.get("policy", "paper"))
+    if statistic is None or policy is None:
+        raise ConfigurationError(
+            f"unknown statistic/policy: {params.get('statistic')!r}/{params.get('policy')!r}"
+        )
+    generator = build_generator(params)
+    report = run_detector_experiment(
+        generator,
+        t=int(params["t"]),
+        k=int(params["k"]),
+        horizon=int(params["horizon"]),
+        accusation_statistic=statistic,
+        timeout_policy=policy,
+        fast=True,
+    )
+    return generator, report
+
+
+def _detector_payload(report) -> Dict[str, Any]:
+    return {
+        "satisfied": report.satisfied,
+        "stabilization_step": report.stabilization_step,
+        "margin": report.margin,
+        "winner_changes": report.winner_changes,
+        "last_winner_change": report.last_winner_change,
+        "winner_set": list(report.converged_winner_set)
+        if report.converged_winner_set is not None
+        else None,
+        "winner_contains_correct": report.winner_contains_correct,
+        "stabilized_early": report.stabilized_early,
+        "schedule_description": report.schedule_description,
+    }
+
+
+def run_detector_kind(params: Dict[str, Any]) -> Dict[str, Any]:
+    _, report = _detector_report(params)
+    return _detector_payload(report)
+
+
+def run_separation_probe_kind(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..analysis.timeliness_matrix import timely_sets_of_size
+
+    generator, report = _detector_report(params)
+    payload = _detector_payload(report)
+    prefix_length = int(params.get("prefix_length", 20_000))
+    count_size = int(params.get("count_size", params["k"]))
+    count_bound = int(params.get("count_bound", 8))
+    prefix = generator.generate(min(int(params["horizon"]), prefix_length))
+    payload["timely_count"] = len(timely_sets_of_size(prefix, count_size, bound=count_bound))
+    return payload
+
+
+def run_agreement_kind(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..agreement.problem import distinct_inputs
+    from ..agreement.runner import solve_agreement
+    from ..core.solvability import matching_system
+    from ..types import AgreementInstance
+
+    n, t, k = int(params["n"]), int(params["t"]), int(params["k"])
+    problem = AgreementInstance(t=t, k=k, n=n)
+    generator = build_generator(params)
+    report = solve_agreement(
+        problem=problem,
+        inputs=distinct_inputs(n),
+        schedule=generator,
+        max_steps=int(params["horizon"]),
+    )
+    return {
+        "problem": problem.describe(),
+        "system": matching_system(problem).describe(),
+        "protocol": "trivial" if k > t else "anti-Ω + k instances",
+        "all_correct_decided": report.all_correct_decided,
+        "distinct_decisions": len(report.verdict.distinct_decisions),
+        "valid": report.verdict.valid,
+        "max_decision_step": report.max_decision_step(),
+        "steps_executed": report.steps_executed,
+    }
+
+
+def run_figure1_kind(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..core.timeliness import analyze_timeliness
+    from ..schedules.figure1 import Figure1Generator
+
+    generator = Figure1Generator()
+    blocks = int(params["blocks"])
+    schedule = generator.generate(generator.steps_for_blocks(blocks))
+    return {
+        "steps": len(schedule),
+        "bound_p1": analyze_timeliness(schedule, {1}, {3}).minimal_bound,
+        "bound_p2": analyze_timeliness(schedule, {2}, {3}).minimal_bound,
+        "bound_set": analyze_timeliness(schedule, {1, 2}, {3}).minimal_bound,
+    }
+
+
+register_kind("detector", run_detector_kind)
+register_kind("separation-probe", run_separation_probe_kind)
+register_kind("agreement", run_agreement_kind)
+register_kind("figure1", run_figure1_kind)

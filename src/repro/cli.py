@@ -19,7 +19,7 @@ is the quickest way to regenerate a single entry of EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .agreement.problem import distinct_inputs
 from .agreement.runner import solve_agreement
@@ -27,13 +27,17 @@ from .analysis.experiment import (
     accusation_ablation_experiment,
     agreement_experiment,
     anti_omega_convergence_experiment,
+    detector_campaign_spec,
     figure1_experiment,
+    schedule_family_comparison_experiment,
     separation_experiment,
     separation_statements_experiment,
     solvability_map_experiment,
     timeout_ablation_experiment,
 )
 from .analysis.reporting import ascii_table, render_solvability_grid
+from .campaign import CampaignEngine, CampaignSpec, ResultCache, read_jsonl
+from .campaign.records import record_columns
 from .core.solvability import matching_system, solvable_frontier
 from .schedules.set_timely import SetTimelyGenerator
 from .types import AgreementInstance
@@ -49,6 +53,20 @@ EXPERIMENTS = {
     "ablation-accusation": "A1 — accusation-statistic ablation",
     "ablation-timeout": "A2 — timeout growth policy ablation",
     "solve": "one end-to-end agreement run in the matching system",
+    "campaign": "run a named campaign through the parallel campaign engine",
+    "report": "re-aggregate a campaign's JSON-lines record file into a table",
+}
+
+#: Campaigns runnable via ``repro campaign <name>``, with one-line descriptions.
+CAMPAIGNS = {
+    "e1": "E1 — Figure 1 timeliness bounds",
+    "e2": "E2 — anti-Ω convergence sweep (the default detector configs)",
+    "e2-seeds": "E2 × seed grid — the detector sweep crossed with a seed axis",
+    "e3": "E3 — agreement sweep",
+    "e4": "E4 — separation probes on the carrier-rotation adversary",
+    "families": "detector across schedule families",
+    "a1": "A1 — accusation-statistic ablation grid",
+    "a2": "A2 — timeout-policy ablation grid",
 }
 
 
@@ -94,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=7)
     solve.add_argument("--max-steps", type=int, default=400_000)
 
+    campaign = subparsers.add_parser("campaign", help=EXPERIMENTS["campaign"])
+    campaign.add_argument("name", choices=sorted(CAMPAIGNS), help="campaign to run")
+    campaign.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
+    campaign.add_argument("--horizon", type=int, default=None, help="override the step horizon")
+    campaign.add_argument("--k", type=int, default=2, help="degree for the e4 campaign")
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="schedule seed override (e2/e3; other campaigns fix their seeds by design)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, nargs="+", default=[11, 13, 17], help="seed axis for e2-seeds"
+    )
+    campaign.add_argument("--jsonl", type=str, default=None, help="write per-run records here")
+    campaign.add_argument("--cache-dir", type=str, default=None, help="content-addressed result cache")
+    campaign.add_argument("--chunk-size", type=int, default=None, help="runs per dispatched task")
+
+    report = subparsers.add_parser("report", help=EXPERIMENTS["report"])
+    report.add_argument("--jsonl", type=str, required=True, help="record file to aggregate")
+
     return parser
 
 
@@ -101,7 +140,98 @@ def _run_list() -> List[str]:
     lines = ["available experiments:"]
     for name, description in EXPERIMENTS.items():
         lines.append(f"  {name:<22} {description}")
+    lines.append("campaigns (run with `repro campaign <name>`):")
+    for name, description in CAMPAIGNS.items():
+        lines.append(f"  {name:<22} {description}")
     return lines
+
+
+def _run_campaign(args: argparse.Namespace) -> List[str]:
+    engine = CampaignEngine(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        chunk_size=args.chunk_size,
+        jsonl_path=args.jsonl,
+    )
+
+    def horizon(default: int) -> int:
+        return args.horizon if args.horizon is not None else default
+
+    def seed(default: int) -> int:
+        return args.seed if args.seed is not None else default
+
+    notes: List[str] = []
+    # Flags that a campaign does not consume are reported, never silently
+    # dropped: the seeds of e1/e4/families/a1/a2 are part of the artifact's
+    # identity, and e1 has no step horizon at all.
+    if args.seed is not None and args.name not in ("e2", "e3"):
+        notes.append(f"note: --seed has no effect on campaign {args.name!r} (seeds are fixed by the artifact)")
+    if args.horizon is not None and args.name == "e1":
+        notes.append("note: --horizon has no effect on campaign 'e1' (it has no step horizon)")
+
+    if args.name == "e1":
+        headers, rows = figure1_experiment(engine=engine)
+        title = CAMPAIGNS["e1"]
+    elif args.name == "e2":
+        headers, rows = anti_omega_convergence_experiment(
+            horizon=horizon(60_000), seed=seed(11), engine=engine
+        )
+        title = CAMPAIGNS["e2"]
+    elif args.name == "e2-seeds":
+        base_spec = detector_campaign_spec(horizon=horizon(60_000), seed=0)
+        runs: List[Dict[str, Any]] = []
+        for run in base_spec.runs or []:
+            stripped = dict(run)
+            stripped.pop("seed", None)
+            runs.append(stripped)
+        grid = CampaignSpec(
+            name="e2-seeds", kind="detector", runs=runs, axes={"seed": list(args.seeds)}
+        )
+        result = engine.run(grid)
+        headers, rows = result.table()
+        return [ascii_table(headers, rows, title=CAMPAIGNS["e2-seeds"]), *notes, result.summary()]
+    elif args.name == "e3":
+        headers, rows = agreement_experiment(horizon=horizon(400_000), seed=seed(23), engine=engine)
+        title = CAMPAIGNS["e3"]
+    elif args.name == "e4":
+        horizons = (args.horizon,) if args.horizon is not None else (40_000, 80_000, 160_000)
+        headers, rows = separation_experiment(k=args.k, horizons=horizons, engine=engine)
+        title = CAMPAIGNS["e4"]
+    elif args.name == "families":
+        headers, rows = schedule_family_comparison_experiment(horizon=horizon(60_000), engine=engine)
+        title = CAMPAIGNS["families"]
+    elif args.name == "a1":
+        headers, rows = accusation_ablation_experiment(horizon=horizon(80_000), engine=engine)
+        title = CAMPAIGNS["a1"]
+    elif args.name == "a2":
+        headers, rows = timeout_ablation_experiment(horizon=horizon(200_000), engine=engine)
+        title = CAMPAIGNS["a2"]
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown campaign {args.name!r}")
+    lines = [ascii_table(headers, rows, title=title)]
+    lines.extend(notes)
+    lines.append(
+        f"workers={args.workers}"
+        + (f", records -> {args.jsonl}" if args.jsonl else "")
+        + (f", cache -> {args.cache_dir}" if args.cache_dir else "")
+    )
+    return lines
+
+
+def _run_report(jsonl: str) -> List[str]:
+    records = read_jsonl(jsonl)
+    if not records:
+        return [f"no records in {jsonl}"]
+    param_keys, payload_keys = record_columns(records)
+    headers = ["index", "kind"] + param_keys + payload_keys + ["cached"]
+    rows = [
+        [record.index, record.kind]
+        + [record.params.get(key) for key in param_keys]
+        + [record.payload.get(key) for key in payload_keys]
+        + [record.cached]
+        for record in records
+    ]
+    return [ascii_table(headers, rows, title=f"records from {jsonl}")]
 
 
 def _run_map(t: int, k: int, n: int) -> List[str]:
@@ -177,6 +307,10 @@ def run(argv: Optional[Sequence[str]] = None) -> List[str]:
         return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-timeout"])]
     if args.command == "solve":
         return _run_solve(args.t, args.k, args.n, args.seed, args.max_steps)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "report":
+        return _run_report(args.jsonl)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -158,25 +158,47 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
         n, t, p = self.n, self.t, self.pid
         ksets = self.ksets
         processes = list(range(1, n + 1))
+        accusation_statistic = self.accusation_statistic
+        timeout_policy = self.timeout_policy
+        # Operations are immutable, so the read operations of every iteration
+        # (and the register names of the writes) are built once up front — one
+        # allocation per automaton instead of one per executed step.
+        counter_reads: List[Tuple[KSet, List[Tuple[ProcessId, ReadOp]]]] = [
+            (a_set, [(q, ReadOp(("Counter", a_set, q))) for q in processes]) for a_set in ksets
+        ]
+        heartbeat_reads: List[Tuple[ProcessId, ReadOp]] = [
+            (q, ReadOp(("Heartbeat", q))) for q in processes
+        ]
+        my_heartbeat_register = ("Heartbeat", p)
+        counter_registers: Dict[KSet, Tuple[str, KSet, ProcessId]] = {
+            a_set: ("Counter", a_set, p) for a_set in ksets
+        }
+        # Which timers a fresh heartbeat from q resets (line 12's `q in A`).
+        ksets_containing: Dict[ProcessId, List[KSet]] = {
+            q: [a_set for a_set in ksets if q in a_set] for q in processes
+        }
 
-        # Local variables (Figure 2, "Local variables" block).
+        # Local variables (Figure 2, "Local variables" block).  The paper's
+        # ``cnt[A, q]`` matrix is kept as one list per k-set, indexed ``q - 1``.
         my_hb = 0
+        my_index = p - 1
         prev_heartbeat: Dict[ProcessId, int] = {q: 0 for q in processes}
         timeout: Dict[KSet, int] = {a: 1 for a in ksets}
         timer: Dict[KSet, int] = {a: timeout[a] for a in ksets}
-        cnt: Dict[Tuple[KSet, ProcessId], int] = {(a, q): 0 for a in ksets for q in processes}
+        cnt: Dict[KSet, List[int]] = {a: [0] * n for a in ksets}
         iteration = 0
 
         while True:
             # Lines 2-5: choose FD output.
-            for a_set in ksets:
-                for q in processes:
-                    value = yield ReadOp(("Counter", a_set, q))
-                    cnt[(a_set, q)] = int(value) if value is not None else 0
             accusation: Dict[KSet, int] = {}
-            for a_set in ksets:
-                counter_vector = [cnt[(a_set, q)] for q in processes]
-                accusation[a_set] = self.accusation_statistic(counter_vector, t)
+            for a_set, reads in counter_reads:
+                counter_vector: List[int] = []
+                append_value = counter_vector.append
+                for q, read_op in reads:
+                    value = yield read_op
+                    append_value(int(value) if value is not None else 0)
+                cnt[a_set] = counter_vector
+                accusation[a_set] = accusation_statistic(counter_vector, t)
             winnerset = min(ksets, key=lambda a_set: (accusation[a_set], a_set))
             fd_output = frozenset(processes) - frozenset(winnerset)
             # Line 5's assignment is observable immediately (fdOutput is a local
@@ -189,25 +211,24 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
 
             # Lines 6-7: bump the heartbeat.
             my_hb += 1
-            yield WriteOp(("Heartbeat", p), my_hb)
+            yield WriteOp(my_heartbeat_register, my_hb)
 
             # Lines 8-13: check other processes' heartbeats, reset timers.
-            for q in processes:
-                hbq = yield ReadOp(("Heartbeat", q))
+            for q, read_op in heartbeat_reads:
+                hbq = yield read_op
                 hbq = int(hbq) if hbq is not None else 0
                 if hbq > prev_heartbeat[q]:
-                    for a_set in ksets:
-                        if q in a_set:
-                            timer[a_set] = timeout[a_set]
+                    for a_set in ksets_containing[q]:
+                        timer[a_set] = timeout[a_set]
                     prev_heartbeat[q] = hbq
 
             # Lines 14-19: expire timers, accuse.
             for a_set in ksets:
                 timer[a_set] -= 1
                 if timer[a_set] == 0:
-                    timeout[a_set] = self.timeout_policy(timeout[a_set])
+                    timeout[a_set] = timeout_policy(timeout[a_set])
                     timer[a_set] = timeout[a_set]
-                    yield WriteOp(("Counter", a_set, p), cnt[(a_set, p)] + 1)
+                    yield WriteOp(counter_registers[a_set], cnt[a_set][my_index] + 1)
 
             # End-of-iteration bookkeeping (free: local variables only).
             iteration += 1

@@ -31,7 +31,7 @@ from ..types import ProcessId
 RegisterName = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class Register:
     """One atomic shared register.
 

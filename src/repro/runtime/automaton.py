@@ -102,6 +102,10 @@ class ProcessAutomaton:
         self.n = n
         self.params: Dict[str, Any] = dict(params)
         self.outputs: Dict[str, Any] = {}
+        #: Monotone counter bumped by every :meth:`publish`.  The simulator's
+        #: fast path samples observers only when this counter moved, so all
+        #: mutations of ``outputs`` must go through :meth:`publish`.
+        self.outputs_version: int = 0
 
     # ------------------------------------------------------------------
     def context(self) -> ProcessContext:
@@ -120,6 +124,7 @@ class ProcessAutomaton:
     def publish(self, key: str, value: Any) -> None:
         """Publish an observable local variable (no shared-memory step)."""
         self.outputs[key] = value
+        self.outputs_version += 1
 
     def output(self, key: str, default: Any = None) -> Any:
         """Read back a published local variable."""

@@ -57,6 +57,7 @@ class ComposedAutomaton(ProcessAutomaton):
                     f"expected {pid}/{n}"
                 )
         self._components: List[Tuple[str, ProcessAutomaton]] = list(components)
+        self._synced_component_versions = -1
 
     # ------------------------------------------------------------------
     def component(self, name: str) -> ProcessAutomaton:
@@ -67,10 +68,19 @@ class ComposedAutomaton(ProcessAutomaton):
         raise SimulationError(f"no component named {name!r}")
 
     def _sync_outputs(self) -> None:
+        # Component versions are monotone, so their sum changes iff some
+        # component published since the last sync; skipping the copy keeps the
+        # composition out of the hot path and keeps the composed automaton's
+        # own outputs_version accurate for version-gated observer sampling.
+        total = sum(component.outputs_version for _, component in self._components)
+        if total == self._synced_component_versions:
+            return
+        self._synced_component_versions = total
         for name, component in self._components:
             for key, value in component.outputs.items():
                 self.outputs[f"{name}.{key}"] = value
                 self.outputs[key] = value
+        self.outputs_version += 1
 
     # ------------------------------------------------------------------
     def program(self, ctx: ProcessContext) -> Program:

@@ -91,6 +91,16 @@ class CrashPattern:
         crash_at = self.crash_steps.get(pid)
         return crash_at is not None and step_index >= crash_at
 
+    @property
+    def is_static(self) -> bool:
+        """Whether aliveness is time-independent (every crash happens at step 0).
+
+        Failure-free and initial-crash patterns are static, so hot loops may
+        replace per-step :meth:`is_crashed` calls with membership tests against
+        :attr:`faulty`.
+        """
+        return all(step == 0 for step in self.crash_steps.values())
+
     def alive_at(self, step_index: int) -> ProcessSet:
         """Processes still allowed to take step ``step_index``."""
         return frozenset(

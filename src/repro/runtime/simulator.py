@@ -16,6 +16,7 @@ perturbing the algorithms themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..core.schedule import InfiniteSchedule, Schedule
@@ -34,7 +35,7 @@ Observer = Callable[[int, ProcessId, "Simulator"], None]
 StopCondition = Callable[[int, "Simulator"], bool]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessState:
     """Book-keeping for one process inside the simulator."""
 
@@ -237,6 +238,132 @@ class Simulator:
             outputs={pid: dict(state.automaton.outputs) for pid, state in self._states.items()},
         )
 
+    def run_fast(
+        self,
+        schedule: ScheduleSource,
+        max_steps: Optional[int] = None,
+        stop_condition: Optional[StopCondition] = None,
+        collect_trace: bool = False,
+    ) -> RunResult:
+        """Drive the simulator over a schedule through the slim fast path.
+
+        Executes exactly the same steps as :meth:`run` — same register
+        operations, same halting behaviour, same final outputs — but sheds the
+        per-step bookkeeping that dominates long experiment runs:
+
+        * the per-pid state lookup is pre-resolved into a local table;
+        * the executed trace is recorded only when ``collect_trace`` is true
+          (otherwise ``executed_schedule`` comes back empty and :meth:`trace`
+          does not grow, while ``steps_executed`` stays exact);
+        * observers are sampled only on steps in which the stepped process
+          *published* an output (plus each process's first step), detected via
+          :attr:`~repro.runtime.automaton.ProcessAutomaton.outputs_version`.
+          Change-recording observers such as
+          :class:`~repro.runtime.observers.OutputTracker` therefore record
+          byte-identical change sequences, because on every skipped step they
+          would have sampled an unchanged value; observers that rely on seeing
+          *every* step must use :meth:`run` instead.
+
+        ``stop_condition``, when given, is still checked after every step.
+        """
+        step_iter, budget = self._normalize_source(schedule, max_steps)
+        register_map = self.registers._registers
+        get_register = self.registers._get
+        observers = self._observers
+        sample_observers = bool(observers)
+        strict = self.strict
+        n = self.n
+        trace = self._trace
+        executed_steps: List[ProcessId] = []
+        # pid-indexed tables beat dict lookups in the hot loop; slot 0 unused.
+        state_table: List[Optional[ProcessState]] = [None] * (n + 1)
+        for known_pid, known_state in self._states.items():
+            state_table[known_pid] = known_state
+        last_versions: List[int] = [-1] * (n + 1)
+        stopped_early = False
+        step_index = self._step_index
+        start_index = step_index
+        try:
+            for pid in islice(step_iter, budget):
+                state = state_table[pid] if 0 < pid <= n else None
+                if state is None:
+                    raise SimulationError(f"unknown process id {pid}")
+                automaton = state.automaton
+                if state.halted:
+                    if strict:
+                        raise SimulationError(
+                            f"process {pid} was scheduled after its program returned"
+                        )
+                else:
+                    if state.started:
+                        generator = state.generator
+                        send_value = state.pending_result
+                    else:
+                        generator = automaton.program(automaton.context())
+                        state.generator = generator
+                        state.started = True
+                        send_value = None
+                    try:
+                        op = generator.send(send_value)
+                    except StopIteration as stop:
+                        self._halt(state, stop)
+                    else:
+                        op_type = type(op)
+                        if op_type is ReadOp:
+                            register = register_map.get(op.register)
+                            if register is None:
+                                register = get_register(op.register)
+                            register.read_count += 1
+                            state.pending_result = register.value
+                        elif op_type is WriteOp:
+                            register = register_map.get(op.register)
+                            if register is None:
+                                register = get_register(op.register)
+                            if register.writer is not None and register.writer != pid:
+                                register.write(op.value, pid)  # raises the canonical error
+                            register.write_count += 1
+                            register.value = op.value
+                            state.pending_result = None
+                        else:
+                            # Exact-type checks above keep the hot path cheap;
+                            # ReadOp/WriteOp *subclasses* (legal per
+                            # validate_operation) take this slower branch.
+                            operation = validate_operation(op)
+                            if isinstance(operation, ReadOp):
+                                state.pending_result = self.registers.read(
+                                    operation.register, reader=pid
+                                )
+                            else:
+                                self.registers.write(operation.register, operation.value, writer=pid)
+                                state.pending_result = None
+                state.steps_taken += 1
+                step_index += 1
+                if collect_trace:
+                    trace.append(pid)
+                    executed_steps.append(pid)
+                if sample_observers:
+                    version = automaton.outputs_version
+                    if last_versions[pid] != version:
+                        last_versions[pid] = version
+                        self._step_index = step_index
+                        for observer in observers:
+                            observer(step_index, pid, self)
+                if stop_condition is not None:
+                    self._step_index = step_index
+                    if stop_condition(step_index, self):
+                        stopped_early = True
+                        break
+        finally:
+            self._step_index = step_index
+        executed = step_index - start_index
+        return RunResult(
+            executed_schedule=Schedule(steps=tuple(executed_steps), n=self.n),
+            steps_executed=executed,
+            stopped_early=stopped_early,
+            halted_processes=self.halted_processes(),
+            outputs={pid: dict(state.automaton.outputs) for pid, state in self._states.items()},
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -261,6 +388,23 @@ class Simulator:
     def _normalize_source(
         self, schedule: ScheduleSource, max_steps: Optional[int]
     ) -> "tuple[Iterator[ProcessId], int]":
+        """Resolve a schedule source into ``(step iterator, step budget)``.
+
+        Budget semantics: for a finite :class:`Schedule` the budget is its
+        length, capped by ``max_steps`` when given; an
+        :class:`InfiniteSchedule` (or any bare iterable when ``max_steps`` is
+        given) is budgeted at exactly ``max_steps``; a bare iterable without
+        ``max_steps`` is materialized and budgeted at its full length.  An
+        explicit ``max_steps`` must be positive — a budget of zero or fewer
+        steps would silently execute nothing, which has never been what the
+        caller meant, so it is rejected with :class:`SimulationError`.
+        """
+        if max_steps is not None and max_steps < 1:
+            raise SimulationError(
+                f"max_steps must be a positive step budget, got {max_steps}; "
+                "a run that may execute zero steps is almost certainly a bug "
+                "(omit max_steps to run a finite schedule to its end)"
+            )
         if isinstance(schedule, Schedule):
             if schedule.n != self.n:
                 raise SimulationError(

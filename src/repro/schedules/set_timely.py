@@ -143,9 +143,26 @@ class SetTimelyGenerator(ScheduleGenerator):
         return self.base_phase + phase * self.phase_growth
 
     def _emit(self) -> Iterator[ProcessId]:
+        # This generator is the hot inner loop of every campaign run, so the
+        # per-step work is flattened into local bindings.  The emitted stream
+        # is byte-identical to the straightforward formulation for any seed:
+        # the RNG is consumed in exactly the same call sequence
+        # (``random()`` for the coin, ``getrandbits``-rejection — the
+        # algorithm inside ``Random.choice`` — for the filler draw).
         rng = random.Random(self.seed)
+        rng_random = rng.random
+        getrandbits = rng.getrandbits
+        crash_pattern = self.crash_pattern
+        is_crashed = crash_pattern.is_crashed
+        # Static patterns (failure-free / initial crashes) allow a set lookup
+        # instead of a method call per candidate.
+        static_dead = crash_pattern.faulty if crash_pattern.is_static else None
         carriers: List[ProcessId] = sorted(self.p_set)
         fillers: List[ProcessId] = sorted(frozenset(range(1, self.n + 1)) - self.p_set)
+        n_fillers = len(fillers)
+        filler_bits = n_fillers.bit_length()
+        filler_budget = self.bound - 1
+        guard_limit = 4 * n_fillers + 8
         filler_cursor = 0
         step_index = 0
         phase = 0
@@ -157,7 +174,7 @@ class SetTimelyGenerator(ScheduleGenerator):
             # Skip carriers that have crashed; if none is alive the constructor
             # guarantee was violated by a dynamic crash, so fail loudly.
             attempts = 0
-            while self.crash_pattern.is_crashed(carrier, step_index):
+            while is_crashed(carrier, step_index):
                 carrier_index += 1
                 attempts += 1
                 carrier = carriers[carrier_index % len(carriers)]
@@ -171,19 +188,27 @@ class SetTimelyGenerator(ScheduleGenerator):
                 step_index += 1
                 remaining -= 1
                 # ... followed by at most (bound - 1) filler steps.
-                filler_budget = self.bound - 1
                 emitted = 0
                 guard = 0
-                while emitted < filler_budget and fillers:
+                while emitted < filler_budget and n_fillers:
                     guard += 1
-                    if guard > 4 * len(fillers) + 8:
+                    if guard > guard_limit:
                         break
-                    if rng.random() < 0.5:
-                        candidate = rng.choice(fillers)
+                    if rng_random() < 0.5:
+                        # Inlined ``rng.choice(fillers)``: rejection sampling
+                        # over getrandbits, consuming the same RNG stream.
+                        draw = getrandbits(filler_bits)
+                        while draw >= n_fillers:
+                            draw = getrandbits(filler_bits)
+                        candidate = fillers[draw]
                     else:
-                        candidate = fillers[filler_cursor % len(fillers)]
+                        candidate = fillers[filler_cursor % n_fillers]
                         filler_cursor += 1
-                    if self.crash_pattern.is_crashed(candidate, step_index):
+                    if (
+                        candidate in static_dead
+                        if static_dead is not None
+                        else is_crashed(candidate, step_index)
+                    ):
                         continue
                     yield candidate
                     step_index += 1

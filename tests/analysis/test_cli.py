@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, run
+from repro.cli import CAMPAIGNS, EXPERIMENTS, build_parser, run
 
 
 class TestParser:
@@ -25,7 +25,8 @@ class TestCommands:
 
     def test_list(self):
         lines = run(["list"])
-        assert len(lines) == len(EXPERIMENTS) + 1
+        assert len(lines) == len(EXPERIMENTS) + len(CAMPAIGNS) + 2
+        assert any("campaign" in line for line in lines)
 
     def test_figure1(self):
         lines = run(["figure1", "--blocks", "2", "4"])

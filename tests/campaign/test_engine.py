@@ -1,0 +1,124 @@
+"""Tests for the campaign engine: dedup, caching, dispatch, record streaming."""
+
+import pytest
+
+from repro.analysis.experiment import detector_campaign_spec, detector_rows
+from repro.analysis.reporting import ascii_table
+from repro.campaign import (
+    CampaignEngine,
+    CampaignSpec,
+    ResultCache,
+    read_jsonl,
+    register_kind,
+)
+from repro.errors import ConfigurationError
+
+HORIZON = 6_000
+
+
+def _small_spec(seed: int = 11) -> CampaignSpec:
+    configs = [
+        {"n": 3, "t": 2, "k": 1, "bound": 3, "crashes": frozenset()},
+        {"n": 3, "t": 2, "k": 2, "bound": 3, "crashes": frozenset()},
+        {"n": 4, "t": 2, "k": 2, "bound": 3, "crashes": frozenset()},
+    ]
+    return detector_campaign_spec(configs=configs, horizon=HORIZON, seed=seed)
+
+
+def _comparable(records):
+    """Record fields that must be invariant across worker counts and caching."""
+    return [(r.index, r.key, r.kind, r.params, r.payload) for r in records]
+
+
+class TestEngineBasics:
+    def test_serial_run_produces_grid_ordered_records(self):
+        result = CampaignEngine(workers=1).run(_small_spec())
+        assert [r.index for r in result.records] == [0, 1, 2]
+        assert all(r.kind == "detector" for r in result.records)
+        assert all(r.payload["satisfied"] for r in result.records)
+
+    def test_worker_count_invariance(self):
+        serial = CampaignEngine(workers=1).run(_small_spec())
+        parallel = CampaignEngine(workers=3).run(_small_spec())
+        assert _comparable(serial.records) == _comparable(parallel.records)
+        assert ascii_table(*detector_rows(serial)) == ascii_table(*detector_rows(parallel))
+
+    def test_chunk_size_invariance(self):
+        one = CampaignEngine(workers=2, chunk_size=1).run(_small_spec())
+        all_in_one = CampaignEngine(workers=2, chunk_size=3).run(_small_spec())
+        assert _comparable(one.records) == _comparable(all_in_one.records)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignEngine(workers=-1)
+        with pytest.raises(ConfigurationError):
+            CampaignEngine(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            CampaignEngine().run(CampaignSpec(name="x", kind="no-such-kind"))
+
+
+class TestDeduplication:
+    def test_repeated_configs_execute_once(self):
+        spec = _small_spec()
+        doubled = CampaignSpec(
+            name="doubled", kind=spec.kind, runs=list(spec.runs) + list(spec.runs)
+        )
+        result = CampaignEngine(workers=1).run(doubled)
+        assert len(result.records) == 6
+        assert result.deduplicated == 3
+        for first, second in zip(result.records[:3], result.records[3:]):
+            assert first.key == second.key
+            assert first.payload == second.payload
+
+
+class TestCaching:
+    def test_cache_hits_on_second_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = CampaignEngine(workers=1, cache=cache)
+        cold = engine.run(_small_spec())
+        assert cold.cache_hits == 0 and cold.cache_misses == 3
+        warm = engine.run(_small_spec())
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert all(r.cached for r in warm.records)
+        assert _comparable(cold.records) == _comparable(warm.records)
+
+    def test_cache_distinguishes_parameters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = CampaignEngine(workers=1, cache=cache)
+        engine.run(_small_spec(seed=11))
+        other_seed = engine.run(_small_spec(seed=13))
+        assert other_seed.cache_hits == 0 and other_seed.cache_misses == 3
+
+    def test_cached_tables_match_fresh_tables(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fresh = CampaignEngine(workers=1).run(_small_spec())
+        CampaignEngine(workers=1, cache=cache).run(_small_spec())
+        cached = CampaignEngine(workers=1, cache=cache).run(_small_spec())
+        assert ascii_table(*detector_rows(fresh)) == ascii_table(*detector_rows(cached))
+
+
+class TestRecordStreaming:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        result = CampaignEngine(workers=1, jsonl_path=path).run(_small_spec())
+        loaded = read_jsonl(path)
+        assert _comparable(loaded) == _comparable(result.records)
+
+    def test_generic_table_covers_params_and_payload(self):
+        result = CampaignEngine(workers=1).run(_small_spec())
+        headers, rows = result.table()
+        assert "n" in headers and "satisfied" in headers
+        assert len(rows) == 3
+
+
+class TestCustomKinds:
+    def test_register_and_execute_custom_kind(self):
+        register_kind("echo-test", lambda params: {"echo": params["value"] * 2})
+        try:
+            spec = CampaignSpec(name="echo", kind="echo-test", axes={"value": [1, 2, 3]})
+            result = CampaignEngine(workers=1).run(spec)
+            assert [r.payload["echo"] for r in result.records] == [2, 4, 6]
+        finally:
+            from repro.campaign.runner import _KINDS
+
+            _KINDS.pop("echo-test", None)

@@ -1,0 +1,107 @@
+"""Tests for campaign specs (grid expansion) and the content-addressed cache."""
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, RunSpec, canonical_json, content_key
+from repro.errors import ConfigurationError
+
+
+class TestCanonicalJson:
+    def test_sets_and_tuples_normalize(self):
+        assert canonical_json(frozenset({3, 1, 2})) == "[1,2,3]"
+        assert canonical_json((1, 2)) == "[1,2]"
+        assert canonical_json({"b": 1, "a": frozenset({2})}) == '{"a":[2],"b":1}'
+
+    def test_identical_configs_share_a_key(self):
+        a = content_key("detector", {"n": 4, "crashes": frozenset({2, 1})})
+        b = content_key("detector", {"crashes": [1, 2], "n": 4})
+        assert a == b
+
+    def test_different_configs_differ(self):
+        a = content_key("detector", {"n": 4})
+        b = content_key("detector", {"n": 5})
+        c = content_key("agreement", {"n": 4})
+        assert len({a, b, c}) == 3
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"fn": canonical_json})
+
+
+class TestGridExpansion:
+    def test_explicit_runs_in_order(self):
+        spec = CampaignSpec(name="x", kind="k", runs=[{"a": 1}, {"a": 2}])
+        params = [s.param_dict() for s in spec.expand()]
+        assert params == [{"a": 1}, {"a": 2}]
+
+    def test_axes_cross_product_is_deterministic(self):
+        spec = CampaignSpec(
+            name="x",
+            kind="k",
+            base={"c": 0},
+            runs=[{"a": 1}, {"a": 2}],
+            axes={"s": [10, 20], "p": ["u", "v"]},
+        )
+        first = [s.param_dict() for s in spec.expand()]
+        second = [s.param_dict() for s in spec.expand()]
+        assert first == second
+        # run-major, then axes in declaration order, values in given order
+        assert first[0] == {"c": 0, "a": 1, "s": 10, "p": "u"}
+        assert first[1] == {"c": 0, "a": 1, "s": 10, "p": "v"}
+        assert first[2] == {"c": 0, "a": 1, "s": 20, "p": "u"}
+        assert first[4] == {"c": 0, "a": 2, "s": 10, "p": "u"}
+        assert len(first) == 2 * 2 * 2
+
+    def test_axis_overrides_run_overrides_base(self):
+        spec = CampaignSpec(
+            name="x", kind="k", base={"a": 0, "b": 0}, runs=[{"a": 1}], axes={"b": [7]}
+        )
+        assert spec.expand()[0].param_dict() == {"a": 1, "b": 7}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="x", kind="k", axes={"s": []}).expand()
+
+    def test_empty_run_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="x", kind="k", runs=[]).expand()
+
+    def test_runspec_key_stable(self):
+        spec = RunSpec.create("k", {"n": 3, "xs": (2, 1)})
+        assert spec.key() == RunSpec.create("k", {"xs": [2, 1], "n": 3}).key()
+
+
+class TestResultCache:
+    def test_memory_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"x": 1})
+        assert cache.get("deadbeef") == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_directory_roundtrip_survives_new_instance(self, tmp_path):
+        first = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 1})
+        first.put(key, {"result": [1, 2]})
+        second = ResultCache(tmp_path / "cache")
+        assert second.get(key) == {"result": [1, 2]}
+        assert second.hits == 1
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 2})
+        assert not cache.contains(key)
+        cache.put(key, {})
+        assert cache.contains(key)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 3})
+        cache.put(key, {"x": 1})
+        path = cache._path_for(key)
+        path.write_text("{not json", encoding="utf-8")
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
