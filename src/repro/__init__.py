@@ -73,9 +73,43 @@ from .schedules import (
     RoundRobinGenerator,
     SetTimelyGenerator,
 )
+from .scenarios import ScenarioSpec, build_scenario
 from .types import AgreementInstance, SystemCoordinates
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """The installed distribution's version, with a source-tree fallback.
+
+    ``python -m repro --version`` must work both for the installed package
+    (single source of truth: the distribution metadata from pyproject.toml)
+    and for a bare ``PYTHONPATH=src`` checkout, where no metadata exists —
+    there the checkout's own pyproject.toml is read directly, so the version
+    is never duplicated in code.  "unknown" only appears for a metadata-less
+    install with no source tree (e.g. a vendored copy), where no truthful
+    number exists.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro-set-timeliness")
+    except PackageNotFoundError:
+        pass
+    try:
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(
+            r'^version = "([^"]+)"', pyproject.read_text(encoding="utf-8"), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    return "unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "AgreementRunReport",
@@ -116,5 +150,7 @@ __all__ = [
     "SetTimelyGenerator",
     "AgreementInstance",
     "SystemCoordinates",
+    "ScenarioSpec",
+    "build_scenario",
     "__version__",
 ]

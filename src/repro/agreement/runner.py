@@ -28,7 +28,7 @@ from ..failure_detectors.anti_omega import (
     paper_accusation_statistic,
     paper_timeout_policy,
 )
-from ..failure_detectors.base import FD_OUTPUT, WINNER_SET
+from ..failure_detectors.base import make_detector_trackers
 from ..failure_detectors.properties import (
     AntiOmegaVerdict,
     LeaderSetVerdict,
@@ -39,15 +39,17 @@ from ..memory.registers import RegisterFile
 from ..runtime.composition import ComposedAutomaton
 from ..runtime.observers import OutputTracker
 from ..runtime.simulator import RunResult, Simulator
+from ..scenarios.spec import ScenarioSpec, build_scenario
 from ..schedules.base import ScheduleGenerator
 from ..types import AgreementInstance, ProcessId, ProcessSet, process_set, universe
 from .kset import DECISION, KSetFromAntiOmegaAutomaton
 from .problem import AgreementVerdict, check_agreement
 from .trivial import TrivialKSetAgreementAutomaton
 
-#: What callers may pass as the schedule: a generator (preferred — it knows its
-#: crash pattern) or a plain finite schedule plus an explicit correct set.
-ScheduleInput = Union[ScheduleGenerator, Schedule]
+#: What callers may pass as the schedule: a generator or declarative scenario
+#: (preferred — they know their crash pattern) or a plain finite schedule plus
+#: an explicit correct set.
+ScheduleInput = Union[ScheduleGenerator, ScenarioSpec, Schedule]
 
 
 @dataclass
@@ -98,8 +100,10 @@ def solve_agreement(
     inputs:
         Initial value per process (all ``n`` processes).
     schedule:
-        A :class:`ScheduleGenerator` (its crash pattern supplies the correct
-        set) or a finite :class:`Schedule` (then ``correct`` must be given).
+        A :class:`ScheduleGenerator` or declarative
+        :class:`~repro.scenarios.spec.ScenarioSpec` (their crash pattern
+        supplies the correct set) or a finite :class:`Schedule` (then
+        ``correct`` must be given).
     max_steps:
         Step budget (the experiment's horizon).
     correct:
@@ -116,6 +120,8 @@ def solve_agreement(
     if missing:
         raise ConfigurationError(f"missing initial values for processes {missing}")
 
+    if isinstance(schedule, ScenarioSpec):
+        schedule = build_scenario(schedule)
     if isinstance(schedule, ScheduleGenerator):
         correct_set = universe(n) - schedule.faulty
         if schedule.n != n:
@@ -175,8 +181,7 @@ def solve_agreement(
     fd_tracker: Optional[OutputTracker] = None
     winner_tracker: Optional[OutputTracker] = None
     if use_detector:
-        fd_tracker = OutputTracker(key=FD_OUTPUT)
-        winner_tracker = OutputTracker(key=WINNER_SET)
+        fd_tracker, winner_tracker = make_detector_trackers()
         simulator.add_observer(fd_tracker)
         simulator.add_observer(winner_tracker)
 

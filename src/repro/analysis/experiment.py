@@ -1,12 +1,12 @@
-"""Experiment harness: one function per paper artifact (E1–E9, A1–A3).
+"""Experiment harness: one function per paper artifact (E1–E10, A1–A3).
 
 Every function returns ``(headers, rows)`` ready for
 :func:`repro.analysis.reporting.ascii_table`.  The benchmarks and the CLI call
 these functions and print the tables; the numbers recorded in EXPERIMENTS.md
 come from exactly these code paths, so the document can always be regenerated.
 
-Since the campaign engine landed, every *run-based* experiment (E1–E4, A1,
-A2, and the schedule-family comparison) is a thin adapter: it builds a
+Since the campaign engine landed, every *run-based* experiment (E1–E4, E10,
+A1, A2, and the schedule/scenario-family comparisons) is a thin adapter: it builds a
 declarative :class:`~repro.campaign.spec.CampaignSpec`, executes it through a
 :class:`~repro.campaign.engine.CampaignEngine` (serial by default — pass
 ``engine=CampaignEngine(workers=4, cache=...)`` to parallelize and cache), and
@@ -256,6 +256,112 @@ def schedule_family_comparison_experiment(
     result = _engine(engine).run(spec)
     headers = [
         "schedule family",
+        "n",
+        "detector degree",
+        "satisfied",
+        "stabilized early",
+        "last winner change",
+        "winner changes",
+        "winner contains correct",
+    ]
+    rows = [
+        [
+            record.params["family"],
+            record.params["n"],
+            record.params["k"],
+            record.payload["satisfied"],
+            record.payload["stabilized_early"],
+            record.payload["last_winner_change"],
+            record.payload["winner_changes"],
+            record.payload["winner_contains_correct"],
+        ]
+        for record in result.records
+    ]
+    return headers, rows
+
+
+def scenario_family_comparison_experiment(
+    horizon: int = 40_000,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Detector behaviour across the composable scenario families (E10).
+
+    Exercises the scenario layer end to end: the three new families —
+    crash-recovery churn, alternating-synchrony epochs (bounded and growing),
+    and a benign prefix spliced onto a carrier-rotation adversary — plus a
+    perturbed (interleaving-noise) set-timely scenario, all swept through the
+    campaign engine as ordinary ``schedule`` parameters.  The expected shape:
+    churn and bounded epochs still let the degree-``k`` detector settle
+    (everybody is correct and silence windows stay bounded); growing epochs
+    and the spliced adversary drag the winner set back into churn — the
+    splice shows up as a late ``last winner change`` long after the benign
+    prefix ended; noise degrades bounds but not convergence.
+    """
+    runs: List[Dict[str, Any]] = [
+        {
+            "family": "crash-recovery churn",
+            "schedule": "crash-churn",
+            "n": 4,
+            "t": 2,
+            "k": 2,
+            "seed": 9,
+            "period": 64,
+            "outage": 16,
+            "churn": 1,
+            "horizon": horizon,
+        },
+        {
+            "family": "alternating epochs (bounded)",
+            "schedule": "alternating-epochs",
+            "n": 4,
+            "t": 2,
+            "k": 2,
+            "seed": 9,
+            "sync_epoch": 48,
+            "async_epoch": 48,
+            "epoch_growth": 0,
+            "horizon": horizon,
+        },
+        {
+            "family": "alternating epochs (growing)",
+            "schedule": "alternating-epochs",
+            "n": 4,
+            "t": 2,
+            "k": 2,
+            "seed": 9,
+            "sync_epoch": 48,
+            "async_epoch": 48,
+            "epoch_growth": 16,
+            "horizon": horizon,
+        },
+        {
+            "family": "spliced adversarial suffix",
+            "schedule": "spliced-adversary",
+            "n": 3,
+            "t": 2,
+            "k": 1,
+            "carriers": [1, 2],
+            "switch_at": 5_000,
+            "horizon": horizon,
+        },
+        {
+            "family": "set-timely + interleaving noise",
+            "schedule": "set-timely",
+            "n": 4,
+            "t": 2,
+            "k": 2,
+            "p_set": [1, 2],
+            "q_set": [1, 2, 3],
+            "bound": 3,
+            "seed": 9,
+            "perturbations": [{"kind": "noise", "rate": 0.05, "seed": 5}],
+            "horizon": horizon,
+        },
+    ]
+    spec = CampaignSpec(name="scenarios", kind="detector", runs=runs)
+    result = _engine(engine).run(spec)
+    headers = [
+        "scenario family",
         "n",
         "detector degree",
         "satisfied",

@@ -19,10 +19,9 @@ from ..failure_detectors.anti_omega import (
     paper_accusation_statistic,
     paper_timeout_policy,
 )
-from ..failure_detectors.base import FD_OUTPUT, WINNER_SET
+from ..failure_detectors.base import make_detector_trackers
 from ..failure_detectors.properties import check_k_anti_omega, check_leader_set_convergence
 from ..memory.registers import RegisterFile
-from ..runtime.observers import OutputTracker
 from ..runtime.simulator import Simulator
 from ..schedules.base import ScheduleGenerator
 from ..types import ProcessSet, universe
@@ -78,11 +77,13 @@ def run_detector_experiment(
 ) -> DetectorConvergenceReport:
     """Run the Figure 2 algorithm alone on a generated schedule and measure it.
 
-    With ``fast=True`` the run goes through :meth:`Simulator.run_fast` fed by
-    the generator's raw step stream (skipping the memoized
-    :class:`InfiniteSchedule` wrapper).  The report is value-identical either
-    way — the fast path preserves tracker change sequences exactly — so the
-    campaign engine uses ``fast=True`` unconditionally.
+    With ``fast=True`` the run executes under the kernel's fast policy
+    (:meth:`Simulator.run_fast`) fed by the generator's raw step stream
+    (skipping the memoized :class:`InfiniteSchedule` wrapper).  The report is
+    value-identical either way — the attached trackers declare the
+    ``on_publish`` capability, so publication-gated sampling records the same
+    change sequences — which is why the campaign engine uses ``fast=True``
+    unconditionally.
     """
     n = generator.n
     if horizon < 1:
@@ -93,8 +94,7 @@ def run_detector_experiment(
         n=n, t=t, k=k, accusation_statistic=accusation_statistic, timeout_policy=timeout_policy
     )
     simulator = Simulator(n=n, automata=automata, registers=registers)
-    fd_tracker = OutputTracker(key=FD_OUTPUT)
-    winner_tracker = OutputTracker(key=WINNER_SET)
+    fd_tracker, winner_tracker = make_detector_trackers()
     simulator.add_observer(fd_tracker)
     simulator.add_observer(winner_tracker)
     if fast:

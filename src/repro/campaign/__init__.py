@@ -15,19 +15,23 @@ Layering::
                                   │                     ▲
                                   └── ResultCache ──────┘   (content-addressed)
 
-Every run kind executes through :meth:`Simulator.run_fast`, the slim hot path
-of the simulator; the experiment harnesses in :mod:`repro.analysis.experiment`
-are thin adapters that build a spec, run it through an engine, and shape the
-records into the paper's tables.
+Every run kind executes through the execution kernel's fast policy
+(:meth:`Simulator.run_fast`); schedule sources — the classic generator
+families and the composable scenario families alike — are selected by the
+``schedule`` parameter and built by :func:`repro.scenarios.spec.build_generator`,
+so a campaign sweeps scenarios exactly like numeric axes.  The experiment
+harnesses in :mod:`repro.analysis.experiment` are thin adapters that build a
+spec, run it through an engine, and shape the records into the paper's tables.
 """
 
 from .cache import ResultCache
 from .engine import CampaignEngine, CampaignResult
 from .records import RunRecord, read_jsonl, write_jsonl
 from .spec import CampaignSpec, RunSpec, canonical_json, content_key
-from .runner import available_kinds, execute_spec, register_kind
+from .runner import available_kinds, build_generator, execute_spec, register_kind
 
 __all__ = [
+    "build_generator",
     "CampaignEngine",
     "CampaignResult",
     "CampaignSpec",

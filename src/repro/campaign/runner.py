@@ -40,11 +40,7 @@ from ..failure_detectors.anti_omega import (
     paper_accusation_statistic,
     paper_timeout_policy,
 )
-from ..runtime.crash import CrashPattern
-from ..schedules.adversary import CarrierRotationAdversary, EventuallySynchronousGenerator
-from ..schedules.base import ScheduleGenerator
-from ..schedules.round_robin import RoundRobinGenerator
-from ..schedules.set_timely import SetTimelyGenerator
+from ..scenarios.spec import build_generator
 from .spec import RunSpec
 
 #: A kind is a pure function params -> payload (both JSON-normalized dicts).
@@ -89,47 +85,14 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Schedule construction from JSON parameters
 # ----------------------------------------------------------------------
+#
+# Delegated wholesale to the scenario layer: ``params["schedule"]`` selects a
+# registered scenario family (classic generators and the new scenario
+# families alike), ``params["perturbations"]`` optionally wraps it.  The name
+# is re-exported here because run kinds — and external campaign definitions —
+# have always imported it from this module.
 
-def _crash_pattern(n: int, params: Dict[str, Any]) -> CrashPattern:
-    crashes = params.get("crashes") or []
-    if crashes:
-        return CrashPattern.initial_crashes(n, frozenset(int(p) for p in crashes))
-    return CrashPattern.none(n)
-
-
-def build_generator(params: Dict[str, Any]) -> ScheduleGenerator:
-    """Instantiate the schedule family selected by ``params['schedule']``."""
-    family = params.get("schedule", "set-timely")
-    n = int(params["n"])
-    crash_pattern = _crash_pattern(n, params)
-    if family == "set-timely":
-        return SetTimelyGenerator(
-            n=n,
-            p_set=frozenset(int(p) for p in params["p_set"]),
-            q_set=frozenset(int(q) for q in params["q_set"]),
-            bound=int(params.get("bound", 3)),
-            seed=int(params.get("seed", 0)),
-            crash_pattern=crash_pattern,
-            burst_set=frozenset(int(b) for b in params.get("burst_set") or []),
-            burst_base=int(params.get("burst_base", 0)),
-            burst_growth=int(params.get("burst_growth", 0)),
-        )
-    if family == "round-robin":
-        return RoundRobinGenerator(n, crash_pattern=crash_pattern)
-    if family == "eventually-synchronous":
-        return EventuallySynchronousGenerator(
-            n,
-            chaos_steps=int(params.get("chaos_steps", 200)),
-            seed=int(params.get("seed", 0)),
-            crash_pattern=crash_pattern,
-        )
-    if family == "carrier-rotation":
-        return CarrierRotationAdversary(
-            n=n,
-            carriers=frozenset(int(c) for c in params["carriers"]),
-            crash_pattern=crash_pattern,
-        )
-    raise ConfigurationError(f"unknown schedule family {family!r}")
+__all__ = ["build_generator", "register_kind", "available_kinds", "execute_spec"]
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,9 @@ Usage (installed or from a checkout)::
     python -m repro ablation-accusation       # A1
     python -m repro ablation-timeout          # A2
     python -m repro solve --t 2 --k 2 --n 4   # one end-to-end agreement run
+    python -m repro scenarios                 # list composable scenario families
+    python -m repro scenarios crash-churn     # E10: run the detector on one
+    python -m repro campaign scenarios        # E10 as a campaign sweep
 
 Every command prints the same ASCII tables the benchmarks record, so the CLI
 is the quickest way to regenerate a single entry of EXPERIMENTS.md.
@@ -21,6 +24,7 @@ from __future__ import annotations
 import argparse
 from typing import Any, Dict, List, Optional, Sequence
 
+from . import __version__
 from .agreement.problem import distinct_inputs
 from .agreement.runner import solve_agreement
 from .analysis.experiment import (
@@ -29,6 +33,7 @@ from .analysis.experiment import (
     anti_omega_convergence_experiment,
     detector_campaign_spec,
     figure1_experiment,
+    scenario_family_comparison_experiment,
     schedule_family_comparison_experiment,
     separation_experiment,
     separation_statements_experiment,
@@ -39,6 +44,8 @@ from .analysis.reporting import ascii_table, render_solvability_grid
 from .campaign import CampaignEngine, CampaignSpec, ResultCache, read_jsonl
 from .campaign.records import record_columns
 from .core.solvability import matching_system, solvable_frontier
+from .scenarios import build_generator as build_scenario_generator
+from .scenarios import family_descriptions
 from .schedules.set_timely import SetTimelyGenerator
 from .types import AgreementInstance
 
@@ -53,6 +60,7 @@ EXPERIMENTS = {
     "ablation-accusation": "A1 — accusation-statistic ablation",
     "ablation-timeout": "A2 — timeout growth policy ablation",
     "solve": "one end-to-end agreement run in the matching system",
+    "scenarios": "list the composable scenario families, or run the detector on one",
     "campaign": "run a named campaign through the parallel campaign engine",
     "report": "re-aggregate a campaign's JSON-lines record file into a table",
 }
@@ -65,6 +73,7 @@ CAMPAIGNS = {
     "e3": "E3 — agreement sweep",
     "e4": "E4 — separation probes on the carrier-rotation adversary",
     "families": "detector across schedule families",
+    "scenarios": "E10 — detector across the composable scenario families",
     "a1": "A1 — accusation-statistic ablation grid",
     "a2": "A2 — timeout-policy ablation grid",
 }
@@ -75,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Partial Synchrony Based on Set Timeliness' (PODC 2009)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command")
 
@@ -104,6 +116,37 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_timeout = subparsers.add_parser("ablation-timeout", help=EXPERIMENTS["ablation-timeout"])
     ablation_timeout.add_argument("--horizon", type=int, default=200_000)
     ablation_timeout.add_argument("--bound", type=int, default=400)
+
+    scenarios = subparsers.add_parser("scenarios", help=EXPERIMENTS["scenarios"])
+    scenarios.add_argument(
+        "family", nargs="?", default=None, help="scenario family to run (omit to list them)"
+    )
+    scenarios.add_argument("--n", type=int, default=4)
+    scenarios.add_argument("--t", type=int, default=2)
+    scenarios.add_argument("--k", type=int, default=2)
+    scenarios.add_argument("--horizon", type=int, default=40_000)
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument(
+        "--census",
+        type=int,
+        default=2_000,
+        help="prefix length for the per-process step census table",
+    )
+    scenarios.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra family parameter (repeatable); comma-separated values become lists",
+    )
+    scenarios.add_argument(
+        "--perturb",
+        action="append",
+        default=[],
+        metavar="KIND:RATE[:SEED]",
+        help="wrap the scenario in a perturbation (noise or stutter; repeatable)",
+    )
 
     solve = subparsers.add_parser("solve", help=EXPERIMENTS["solve"])
     solve.add_argument("--t", type=int, required=True)
@@ -143,6 +186,132 @@ def _run_list() -> List[str]:
     lines.append("campaigns (run with `repro campaign <name>`):")
     for name, description in CAMPAIGNS.items():
         lines.append(f"  {name:<22} {description}")
+    return lines
+
+
+def _parse_scalar(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+#: ``--set`` keys whose values are process sets/sequences even when a single
+#: value is given (``--set carriers=1`` must reach the builder as ``[1]``).
+_LIST_VALUED_KEYS = frozenset(
+    {"p_set", "q_set", "burst_set", "carriers", "crashes", "rotating", "order"}
+)
+
+
+def _parse_assignment(assignment: str) -> "tuple[str, Any]":
+    key, separator, raw = assignment.partition("=")
+    if not separator or not key or not raw:
+        raise SystemExit(f"--set expects KEY=VALUE, got {assignment!r}")
+    if "," in raw:
+        value: Any = [_parse_scalar(part) for part in raw.split(",") if part]
+    else:
+        value = _parse_scalar(raw)
+    if key in _LIST_VALUED_KEYS and not isinstance(value, list):
+        value = [value]
+    return key, value
+
+
+def _parse_perturbation(directive: str) -> Dict[str, Any]:
+    parts = directive.split(":")
+    if not 1 <= len(parts) <= 3 or not parts[0]:
+        raise SystemExit(f"--perturb expects KIND:RATE[:SEED], got {directive!r}")
+    perturbation: Dict[str, Any] = {"kind": parts[0]}
+    try:
+        if len(parts) > 1:
+            perturbation["rate"] = float(parts[1])
+        if len(parts) > 2:
+            perturbation["seed"] = int(parts[2])
+    except ValueError:
+        raise SystemExit(
+            f"--perturb expects a numeric RATE and integer SEED, got {directive!r}"
+        ) from None
+    return perturbation
+
+
+def _run_scenarios(args: argparse.Namespace) -> List[str]:
+    if args.family is None:
+        lines = ["composable scenario families (run with `repro scenarios <family>`):"]
+        for name, description in family_descriptions().items():
+            lines.append(f"  {name:<24} {description}")
+        lines.append(
+            "combinators (library API): concat, interleave, perturb, with_crashes"
+        )
+        return lines
+
+    from .analysis.metrics import run_detector_experiment
+
+    params: Dict[str, Any] = {"schedule": args.family, "n": args.n, "seed": args.seed}
+    for assignment in args.assignments:
+        key, value = _parse_assignment(assignment)
+        params[key] = value
+    if args.perturb:
+        params["perturbations"] = [_parse_perturbation(p) for p in args.perturb]
+
+    generator = build_scenario_generator(params)
+    guarantee = generator.guarantee()
+    lines = [
+        f"scenario:  {generator.description}",
+        f"guarantee: {guarantee.describe() if guarantee is not None else 'none (by construction)'}",
+    ]
+
+    census_length = min(args.census, args.horizon)
+    prefix = generator.generate(census_length)
+    counts: Dict[int, int] = {pid: 0 for pid in range(1, generator.n + 1)}
+    for pid in prefix.steps:
+        counts[pid] += 1
+    census_rows = [
+        [pid, counts[pid], f"{counts[pid] / max(census_length, 1):.1%}"]
+        for pid in sorted(counts)
+    ]
+    lines.append(
+        ascii_table(
+            ["process", f"steps in first {census_length}", "share"],
+            census_rows,
+            title="schedule census",
+        )
+    )
+
+    report = run_detector_experiment(
+        generator, t=args.t, k=args.k, horizon=args.horizon, fast=True
+    )
+    lines.append(
+        ascii_table(
+            [
+                "n",
+                "t",
+                "k",
+                "satisfied",
+                "stabilization step",
+                "winner changes",
+                "last winner change",
+                "winner set",
+                "contains correct",
+            ],
+            [
+                [
+                    report.n,
+                    report.t,
+                    report.k,
+                    report.satisfied,
+                    report.stabilization_step,
+                    report.winner_changes,
+                    report.last_winner_change,
+                    report.converged_winner_set,
+                    report.winner_contains_correct,
+                ]
+            ],
+            title=f"k-anti-Ω on this scenario (horizon {args.horizon})",
+        )
+    )
     return lines
 
 
@@ -200,6 +369,9 @@ def _run_campaign(args: argparse.Namespace) -> List[str]:
     elif args.name == "families":
         headers, rows = schedule_family_comparison_experiment(horizon=horizon(60_000), engine=engine)
         title = CAMPAIGNS["families"]
+    elif args.name == "scenarios":
+        headers, rows = scenario_family_comparison_experiment(horizon=horizon(40_000), engine=engine)
+        title = CAMPAIGNS["scenarios"]
     elif args.name == "a1":
         headers, rows = accusation_ablation_experiment(horizon=horizon(80_000), engine=engine)
         title = CAMPAIGNS["a1"]
@@ -305,6 +477,8 @@ def run(argv: Optional[Sequence[str]] = None) -> List[str]:
     if args.command == "ablation-timeout":
         headers, rows = timeout_ablation_experiment(horizon=args.horizon, bound=args.bound)
         return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-timeout"])]
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     if args.command == "solve":
         return _run_solve(args.t, args.k, args.n, args.seed, args.max_steps)
     if args.command == "campaign":

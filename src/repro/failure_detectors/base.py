@@ -25,15 +25,27 @@ Published output keys
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 from ..runtime.automaton import ProcessAutomaton
+from ..runtime.observers import OutputTracker
 from ..types import ProcessId
 
 FD_OUTPUT = "fdOutput"
 WINNER_SET = "winnerset"
 LEADER = "leader"
 ITERATION = "iteration"
+
+
+def make_detector_trackers() -> "Tuple[OutputTracker, OutputTracker]":
+    """The ``(fdOutput, winnerset)`` tracker pair detector experiments attach.
+
+    Both trackers declare the ``on_publish`` observer capability, so a
+    simulator carrying them may run under any execution policy — including
+    the fast, publication-gated one — and still record byte-identical change
+    sequences.
+    """
+    return OutputTracker(key=FD_OUTPUT), OutputTracker(key=WINNER_SET)
 
 
 class FailureDetectorAutomaton(ProcessAutomaton):

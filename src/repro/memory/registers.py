@@ -21,7 +21,7 @@ access discipline and record operation counts for the analysis layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
 
 from ..errors import RegisterError
 from ..types import ProcessId
@@ -125,7 +125,17 @@ class RegisterFile:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def _get(self, name: RegisterName) -> Register:
+    def resolve(self, name: RegisterName) -> Register:
+        """The live :class:`Register` object for ``name``, created on first use.
+
+        This is the sanctioned fast accessor for execution engines (the
+        runtime kernel): operating on the returned object directly skips the
+        per-operation name lookup that :meth:`read`/:meth:`write` repeat.
+        Callers take on the register discipline themselves — in particular
+        they must bump ``read_count``/``write_count`` and honour the
+        single-writer ``writer`` restriction, exactly as
+        :meth:`Register.read`/:meth:`Register.write` do.
+        """
         register = self._registers.get(name)
         if register is None:
             register = Register(
@@ -136,17 +146,29 @@ class RegisterFile:
             self._registers[name] = register
         return register
 
+    def fast_ops(self) -> "Tuple[Dict[RegisterName, Register], Callable[[RegisterName], Register]]":
+        """Sanctioned hot-loop accessor pair: ``(live name→register map, resolve)``.
+
+        The mapping is the file's own register table — look registers up with
+        ``map.get(name)`` (a C-level dict hit) and fall back to the returned
+        :meth:`resolve` callable on a miss, which creates the register with
+        its declared initial value and owner.  The mapping must be treated as
+        read-only; all mutation goes through the :class:`Register` objects or
+        through :meth:`resolve`.
+        """
+        return self._registers, self.resolve
+
     def read(self, name: RegisterName, reader: Optional[ProcessId] = None) -> Any:
         """Atomically read register ``name``."""
-        return self._get(name).read(reader)
+        return self.resolve(name).read(reader)
 
     def write(self, name: RegisterName, value: Any, writer: Optional[ProcessId] = None) -> None:
         """Atomically write register ``name``."""
-        self._get(name).write(value, writer)
+        self.resolve(name).write(value, writer)
 
     def peek(self, name: RegisterName) -> Any:
         """Read without counting the access (for assertions and reporting only)."""
-        return self._get(name).value
+        return self.resolve(name).value
 
     def exists(self, name: RegisterName) -> bool:
         """Whether the register has been declared or touched."""

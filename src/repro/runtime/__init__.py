@@ -1,4 +1,4 @@
-"""Runtime: process automata, the step-level simulator, crash patterns, composition."""
+"""Runtime: process automata, the execution kernel, crash patterns, composition."""
 
 from .automaton import (
     FunctionAutomaton,
@@ -12,9 +12,26 @@ from .automaton import (
 )
 from .composition import ComposedAutomaton, compose
 from .crash import CrashPattern
-from .simulator import RunResult, Simulator, build_simulator
+from .kernel import (
+    EVERY_STEP,
+    FAST,
+    FAST_TRACED,
+    INSTRUMENTED,
+    ON_PUBLISH,
+    ExecutionPolicy,
+    trace_sampling,
+)
+from .simulator import ObserverEntry, RunResult, Simulator, build_simulator
 
 __all__ = [
+    "EVERY_STEP",
+    "FAST",
+    "FAST_TRACED",
+    "INSTRUMENTED",
+    "ON_PUBLISH",
+    "ExecutionPolicy",
+    "trace_sampling",
+    "ObserverEntry",
     "FunctionAutomaton",
     "IdleAutomaton",
     "ProcessAutomaton",

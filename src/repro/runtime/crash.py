@@ -66,6 +66,40 @@ class CrashPattern:
         """Arbitrary crash times, one per faulty process."""
         return CrashPattern(n=n, crash_steps=dict(crash_steps))
 
+    @staticmethod
+    def from_params(n: int, params: Mapping[str, object]) -> "CrashPattern":
+        """Build a pattern from JSON-normalized scenario/campaign parameters.
+
+        ``crash_steps`` (a ``pid -> step`` mapping, string keys allowed as
+        produced by JSON round-trips) wins over ``crashes`` (a list of
+        initially crashed processes); with neither, the pattern is
+        failure-free.
+        """
+        crash_steps = params.get("crash_steps")
+        if crash_steps:
+            return CrashPattern.crashes_at(
+                n, {int(pid): int(step) for pid, step in dict(crash_steps).items()}
+            )
+        crashes = params.get("crashes") or []
+        if crashes:
+            return CrashPattern.initial_crashes(n, frozenset(int(pid) for pid in crashes))
+        return CrashPattern.none(n)
+
+    def merged_with(self, other: "CrashPattern") -> "CrashPattern":
+        """The union of two failure prescriptions over the same ``Πn``.
+
+        A process faulty in either pattern is faulty in the merge; a process
+        faulty in both crashes at the *earlier* of its two crash steps.
+        """
+        if self.n != other.n:
+            raise ConfigurationError(
+                f"cannot merge crash patterns over n={self.n} and n={other.n}"
+            )
+        merged: Dict[ProcessId, int] = dict(self.crash_steps)
+        for pid, step in other.crash_steps.items():
+            merged[pid] = min(merged.get(pid, step), step)
+        return CrashPattern(n=self.n, crash_steps=merged)
+
     # ------------------------------------------------------------------
     @property
     def faulty(self) -> ProcessSet:

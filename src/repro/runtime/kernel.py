@@ -1,0 +1,307 @@
+"""The execution kernel: one step loop, parameterized by an execution policy.
+
+Historically the simulator carried two hand-synchronized copies of its hot
+loop — an instrumented reference path (``Simulator.run``) and a slim fast path
+(``Simulator.run_fast``) that additionally reached into the register file's
+privates.  This module replaces both bodies with a single loop,
+:func:`execute`, whose *observable* behaviour is selected by an
+:class:`ExecutionPolicy`:
+
+* how observers are sampled (after every step, or only on steps where the
+  stepped process published an output — detected via
+  :attr:`~repro.runtime.automaton.ProcessAutomaton.outputs_version`);
+* whether the executed trace is recorded, and at which stride.
+
+The kernel enforces observer *capabilities*: an observer that needs to see
+every step (capability ``"every_step"``) may only run under an every-step
+sampling policy; asking for publication-gated sampling with such an observer
+attached raises :class:`~repro.errors.SimulationError` instead of silently
+under-sampling.  Change-recording observers such as
+:class:`~repro.runtime.observers.OutputTracker` declare ``"on_publish"``:
+version-gated sampling hands them byte-identical change sequences, because on
+every skipped step they would have observed an unchanged value.
+
+``kernel.py`` and ``simulator.py`` are two halves of one component — the
+:class:`~repro.runtime.simulator.Simulator` façade owns the run state, the
+kernel drives it — so the kernel works on the simulator's internal fields
+directly.  The one cross-subsystem boundary, shared memory, goes through the
+sanctioned :meth:`repro.memory.registers.RegisterFile.fast_ops` accessor; the
+kernel never touches another module's privates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.schedule import InfiniteSchedule, Schedule
+from ..errors import SimulationError
+from ..types import ProcessId
+from .automaton import ReadOp, WriteOp, validate_operation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .simulator import ProcessState, RunResult, ScheduleSource, Simulator, StopCondition
+
+#: Observer capability: must be sampled after every executed step.
+EVERY_STEP = "every_step"
+#: Observer capability: only needs steps on which the process published.
+ON_PUBLISH = "on_publish"
+
+#: The capabilities an observer may declare.
+OBSERVER_CAPABILITIES = (EVERY_STEP, ON_PUBLISH)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the kernel loop samples observers and records the trace.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in error messages and reports.
+    sampling:
+        ``"every_step"`` — observers run after every executed step (supports
+        both observer capabilities); ``"on_publish"`` — observers run only on
+        steps where the stepped process's ``outputs_version`` moved, plus its
+        first sampled step (supports only ``"on_publish"`` observers).
+    collect_trace:
+        Whether executed steps are appended to the simulator's trace and
+        returned in ``RunResult.executed_schedule``.  ``steps_executed`` stays
+        exact either way.
+    trace_stride:
+        With ``collect_trace``, record every ``trace_stride``-th executed step
+        (1 = every step).  A stride above 1 yields a *sampled* trace — a cheap
+        schedule fingerprint for very long runs, not a replayable schedule.
+    """
+
+    name: str
+    sampling: str
+    collect_trace: bool
+    trace_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sampling not in (EVERY_STEP, ON_PUBLISH):
+            raise SimulationError(
+                f"unknown sampling mode {self.sampling!r}; "
+                f"expected one of {OBSERVER_CAPABILITIES}"
+            )
+        if self.trace_stride < 1:
+            raise SimulationError(f"trace_stride must be >= 1, got {self.trace_stride}")
+
+    def supports(self, capability: str) -> bool:
+        """Whether an observer with ``capability`` may run under this policy."""
+        return self.sampling == EVERY_STEP or capability == ON_PUBLISH
+
+
+#: The reference policy: full trace, observers after every step (``run``).
+INSTRUMENTED = ExecutionPolicy(name="instrumented", sampling=EVERY_STEP, collect_trace=True)
+
+#: The slim policy: no trace, publication-gated observers (``run_fast``).
+FAST = ExecutionPolicy(name="fast", sampling=ON_PUBLISH, collect_trace=False)
+
+#: The fast policy with the full trace retained (``run_fast(collect_trace=True)``).
+FAST_TRACED = ExecutionPolicy(name="fast+trace", sampling=ON_PUBLISH, collect_trace=True)
+
+
+def trace_sampling(stride: int) -> ExecutionPolicy:
+    """A fast policy that also records every ``stride``-th executed step.
+
+    Useful for long experiment runs that want a schedule fingerprint (which
+    processes dominated which stretches) without paying for — or storing —
+    the full trace.
+    """
+    return ExecutionPolicy(
+        name=f"trace-sampling/{stride}",
+        sampling=ON_PUBLISH,
+        collect_trace=True,
+        trace_stride=stride,
+    )
+
+
+def normalize_source(
+    n: int, schedule: "ScheduleSource", max_steps: Optional[int]
+) -> Tuple[Iterator[ProcessId], int]:
+    """Resolve a schedule source into ``(step iterator, step budget)``.
+
+    Budget semantics: for a finite :class:`Schedule` the budget is its length,
+    capped by ``max_steps`` when given; an :class:`InfiniteSchedule` (or any
+    bare iterable when ``max_steps`` is given) is budgeted at exactly
+    ``max_steps``; a bare iterable without ``max_steps`` is materialized and
+    budgeted at its full length.  An explicit ``max_steps`` must be positive —
+    a budget of zero or fewer steps would silently execute nothing, which has
+    never been what the caller meant, so it is rejected with
+    :class:`SimulationError`.
+    """
+    if max_steps is not None and max_steps < 1:
+        raise SimulationError(
+            f"max_steps must be a positive step budget, got {max_steps}; "
+            "a run that may execute zero steps is almost certainly a bug "
+            "(omit max_steps to run a finite schedule to its end)"
+        )
+    if isinstance(schedule, Schedule):
+        if schedule.n != n:
+            raise SimulationError(
+                f"schedule over Π{schedule.n} cannot drive a simulator over Π{n}"
+            )
+        budget = len(schedule) if max_steps is None else min(max_steps, len(schedule))
+        return iter(schedule.steps), budget
+    if isinstance(schedule, InfiniteSchedule):
+        if schedule.n != n:
+            raise SimulationError(
+                f"schedule over Π{schedule.n} cannot drive a simulator over Π{n}"
+            )
+        if max_steps is None:
+            raise SimulationError("an unbounded schedule needs an explicit max_steps")
+        return schedule.iter_steps(), max_steps
+    if max_steps is None:
+        materialized = list(schedule)
+        return iter(materialized), len(materialized)
+    return iter(schedule), max_steps
+
+
+def check_observer_capabilities(policy: ExecutionPolicy, entries) -> None:
+    """Reject observer/policy combinations that would silently under-sample."""
+    blocking = [entry for entry in entries if not policy.supports(entry.capability)]
+    if blocking:
+        names = ", ".join(
+            getattr(entry.observer, "__name__", None) or repr(entry.observer)
+            for entry in blocking
+        )
+        raise SimulationError(
+            f"execution policy {policy.name!r} samples observers only on output "
+            f"publication, but {len(blocking)} attached observer(s) declare the "
+            f"'{EVERY_STEP}' capability: {names}. Run under the instrumented "
+            "policy (Simulator.run) instead, or register the observer with "
+            "add_observer(observer, capability='on_publish') if it only records "
+            "output changes."
+        )
+
+
+def execute(
+    simulator: "Simulator",
+    schedule: "ScheduleSource",
+    max_steps: Optional[int] = None,
+    stop_condition: Optional["StopCondition"] = None,
+    policy: ExecutionPolicy = INSTRUMENTED,
+) -> "RunResult":
+    """Drive ``simulator`` over ``schedule`` under ``policy``.
+
+    This is the single step loop behind :meth:`Simulator.run`,
+    :meth:`Simulator.run_fast` and :meth:`Simulator.run_with_policy`.  For a
+    fixed ``(schedule, max_steps, stop_condition)`` every policy executes
+    exactly the same steps — the same register operations, halting behaviour,
+    final outputs and step counts; policies only choose what is *recorded*
+    along the way (see :class:`ExecutionPolicy`).
+    """
+    from .simulator import RunResult  # local import: simulator imports this module
+
+    step_iter, budget = normalize_source(simulator.n, schedule, max_steps)
+    entries = simulator.observer_entries()
+    check_observer_capabilities(policy, entries)
+    observers = [entry.observer for entry in entries]
+    sample_observers = bool(observers)
+    sample_every = policy.sampling == EVERY_STEP
+    collect = policy.collect_trace
+    stride = policy.trace_stride
+    registers = simulator.registers
+    register_map, resolve_register = registers.fast_ops()
+    strict = simulator.strict
+    n = simulator.n
+    trace = simulator._trace
+    executed_steps: List[ProcessId] = []
+    # pid-indexed tables beat dict lookups in the hot loop; slot 0 unused.
+    state_table: List[Optional["ProcessState"]] = [None] * (n + 1)
+    for known_pid, known_state in simulator._states.items():
+        state_table[known_pid] = known_state
+    last_versions: List[int] = [-1] * (n + 1)
+    stopped_early = False
+    step_index = simulator._step_index
+    start_index = step_index
+    try:
+        for pid in islice(step_iter, budget):
+            state = state_table[pid] if 0 < pid <= n else None
+            if state is None:
+                raise SimulationError(f"unknown process id {pid}")
+            automaton = state.automaton
+            if state.halted:
+                if strict:
+                    raise SimulationError(
+                        f"process {pid} was scheduled after its program returned"
+                    )
+            else:
+                if state.started:
+                    generator = state.generator
+                    send_value = state.pending_result
+                else:
+                    generator = automaton.program(automaton.context())
+                    state.generator = generator
+                    state.started = True
+                    send_value = None
+                try:
+                    op = generator.send(send_value)
+                except StopIteration as stop:
+                    simulator._halt(state, stop)
+                else:
+                    op_type = type(op)
+                    if op_type is ReadOp:
+                        register = register_map.get(op.register)
+                        if register is None:
+                            register = resolve_register(op.register)
+                        register.read_count += 1
+                        state.pending_result = register.value
+                    elif op_type is WriteOp:
+                        register = register_map.get(op.register)
+                        if register is None:
+                            register = resolve_register(op.register)
+                        if register.writer is not None and register.writer != pid:
+                            register.write(op.value, pid)  # raises the canonical error
+                        register.write_count += 1
+                        register.value = op.value
+                        state.pending_result = None
+                    else:
+                        # Exact-type checks above keep the hot path cheap;
+                        # ReadOp/WriteOp *subclasses* (legal per
+                        # validate_operation) take this slower branch, and
+                        # anything else fails validation loudly.
+                        operation = validate_operation(op)
+                        if isinstance(operation, ReadOp):
+                            state.pending_result = registers.read(
+                                operation.register, reader=pid
+                            )
+                        else:
+                            registers.write(operation.register, operation.value, writer=pid)
+                            state.pending_result = None
+            state.steps_taken += 1
+            step_index += 1
+            if collect and (stride == 1 or (step_index - start_index - 1) % stride == 0):
+                trace.append(pid)
+                executed_steps.append(pid)
+            if sample_observers:
+                if sample_every:
+                    simulator._step_index = step_index
+                    for observer in observers:
+                        observer(step_index, pid, simulator)
+                else:
+                    version = automaton.outputs_version
+                    if last_versions[pid] != version:
+                        last_versions[pid] = version
+                        simulator._step_index = step_index
+                        for observer in observers:
+                            observer(step_index, pid, simulator)
+            if stop_condition is not None:
+                simulator._step_index = step_index
+                if stop_condition(step_index, simulator):
+                    stopped_early = True
+                    break
+    finally:
+        simulator._step_index = step_index
+    return RunResult(
+        executed_schedule=Schedule(steps=tuple(executed_steps), n=n),
+        steps_executed=step_index - start_index,
+        stopped_early=stopped_early,
+        halted_processes=simulator.halted_processes(),
+        outputs={
+            pid: dict(state.automaton.outputs) for pid, state in simulator._states.items()
+        },
+    )

@@ -1,18 +1,25 @@
 """Run observers: non-intrusive instrumentation of simulator executions.
 
 Observers attach to a :class:`~repro.runtime.simulator.Simulator` and sample
-process *outputs* (published local variables) after every step.  They never
-touch shared memory, so the observed run is exactly the run that would have
+process *outputs* (published local variables) after steps.  They never touch
+shared memory, so the observed run is exactly the run that would have
 happened without them — which matters when the experiment's point is to
 measure stabilization times of the unmodified paper algorithm.
+
+Each observer declares a *capability* (see :mod:`repro.runtime.kernel`):
+``"every_step"`` observers need every executed step and only run under the
+instrumented policy; ``"on_publish"`` observers — like the change-recording
+:class:`OutputTracker` below — only need the steps on which the stepped
+process published, so any execution policy may carry them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
 from ..types import ProcessId
+from .kernel import ON_PUBLISH
 
 
 @dataclass(frozen=True)
@@ -40,6 +47,11 @@ class OutputTracker:
     key: str
     changes: List[OutputChange] = field(default_factory=list)
     _last_seen: Dict[ProcessId, Any] = field(default_factory=dict)
+
+    #: The tracker only records *changes*, so it needs exactly the steps on
+    #: which the stepped process published — the ``on_publish`` capability.
+    #: This is what lets it ride the fast execution policy unchanged.
+    observer_capability: ClassVar[str] = ON_PUBLISH
 
     def __call__(self, step: int, pid: ProcessId, simulator: "Any") -> None:
         value = simulator.output_of(pid, self.key)

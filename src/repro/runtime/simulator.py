@@ -7,23 +7,40 @@ process (the configuration of the processes), and consumes a schedule —
 finite, or an unbounded iterator — advancing the scheduled process by exactly
 one shared-memory operation per step.
 
+Execution itself lives in :mod:`repro.runtime.kernel`: one step loop,
+parameterized by an :class:`~repro.runtime.kernel.ExecutionPolicy`.
+:meth:`Simulator.run` and :meth:`Simulator.run_fast` are thin wrappers binding
+the instrumented and the fast policy respectively; arbitrary policies go
+through :meth:`Simulator.run_with_policy`.
+
 Instrumentation: observers can be attached to sample process outputs after
-each step; the analysis layer uses this to measure stabilization times of
+steps; the analysis layer uses this to measure stabilization times of
 failure-detector outputs and decision steps of agreement algorithms without
-perturbing the algorithms themselves.
+perturbing the algorithms themselves.  Each observer declares a *capability*
+— ``"every_step"`` (must see every step) or ``"on_publish"`` (only needs the
+steps on which the process published an output) — and the kernel refuses to
+run a policy that would under-sample an attached observer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from itertools import islice
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.schedule import InfiniteSchedule, Schedule
 from ..errors import SimulationError
 from ..memory.registers import RegisterFile
 from ..types import ProcessId
 from .automaton import ProcessAutomaton, Program, ReadOp, WriteOp, validate_operation
+from .kernel import (
+    EVERY_STEP,
+    FAST,
+    FAST_TRACED,
+    INSTRUMENTED,
+    OBSERVER_CAPABILITIES,
+    ExecutionPolicy,
+    execute,
+)
 
 #: Anything the simulator can consume as a step source.
 ScheduleSource = Union[Schedule, InfiniteSchedule, Iterable[ProcessId]]
@@ -48,6 +65,14 @@ class ProcessState:
     pending_result: Any = None
 
 
+@dataclass(frozen=True)
+class ObserverEntry:
+    """One attached observer together with its declared capability."""
+
+    observer: Observer
+    capability: str
+
+
 @dataclass
 class RunResult:
     """Outcome of driving the simulator over (a prefix of) a schedule.
@@ -55,8 +80,10 @@ class RunResult:
     Attributes
     ----------
     executed_schedule:
-        The schedule prefix that was actually executed (useful when a stop
-        condition cut the run short).
+        The schedule prefix that was actually recorded.  Under the
+        instrumented policy this is every executed step (useful when a stop
+        condition cut the run short); trace-shedding policies return an empty
+        or stride-sampled schedule here while ``steps_executed`` stays exact.
     steps_executed:
         Number of steps executed.
     stopped_early:
@@ -115,7 +142,7 @@ class Simulator:
         self._states: Dict[ProcessId, ProcessState] = {
             pid: ProcessState(automaton=automaton) for pid, automaton in automata.items()
         }
-        self._observers: List[Observer] = []
+        self._observers: List[ObserverEntry] = []
         self._trace: List[ProcessId] = []
         self._step_index = 0
 
@@ -152,18 +179,48 @@ class Simulator:
         return sorted(pid for pid, state in self._states.items() if state.halted)
 
     def trace(self) -> Schedule:
-        """The schedule actually executed so far (all ``run`` calls concatenated)."""
+        """The schedule recorded so far (all ``run`` calls concatenated).
+
+        Trace-shedding policies contribute nothing (or a stride sample) here;
+        see :class:`~repro.runtime.kernel.ExecutionPolicy`.
+        """
         return Schedule(steps=tuple(self._trace), n=self.n)
 
-    def add_observer(self, observer: Observer) -> None:
-        """Attach an observer called after every executed step."""
-        self._observers.append(observer)
+    def add_observer(self, observer: Observer, capability: Optional[str] = None) -> None:
+        """Attach an observer, with its sampling capability.
+
+        ``capability`` is ``"every_step"`` (the observer must see every
+        executed step) or ``"on_publish"`` (it only needs the steps on which
+        the stepped process published an output — true of change-recording
+        observers like :class:`~repro.runtime.observers.OutputTracker`).
+        When omitted, the observer's ``observer_capability`` attribute is
+        consulted, defaulting to the conservative ``"every_step"``.  The
+        kernel enforces the declaration: running a publication-gated policy
+        (:meth:`run_fast`) with an ``"every_step"`` observer attached raises
+        :class:`SimulationError` instead of silently under-sampling.
+        """
+        if capability is None:
+            capability = getattr(observer, "observer_capability", EVERY_STEP)
+        if capability not in OBSERVER_CAPABILITIES:
+            raise SimulationError(
+                f"unknown observer capability {capability!r}; "
+                f"expected one of {OBSERVER_CAPABILITIES}"
+            )
+        self._observers.append(ObserverEntry(observer=observer, capability=capability))
+
+    def observer_entries(self) -> Tuple[ObserverEntry, ...]:
+        """The attached observers with their capabilities (kernel-facing)."""
+        return tuple(self._observers)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self, pid: ProcessId) -> None:
-        """Execute one step of process ``pid`` (one shared-memory operation)."""
+        """Execute one step of process ``pid`` (one shared-memory operation).
+
+        This is the single-step debugging API; whole runs go through the
+        kernel (:meth:`run` / :meth:`run_fast` / :meth:`run_with_policy`).
+        """
         state = self._state(pid)
         if state.halted:
             if self.strict:
@@ -204,7 +261,7 @@ class Simulator:
         max_steps: Optional[int] = None,
         stop_condition: Optional[StopCondition] = None,
     ) -> RunResult:
-        """Drive the simulator over a schedule.
+        """Drive the simulator over a schedule under the instrumented policy.
 
         Parameters
         ----------
@@ -219,24 +276,7 @@ class Simulator:
 
         Returns a :class:`RunResult` describing what was executed.
         """
-        step_iter, budget = self._normalize_source(schedule, max_steps)
-        executed: List[ProcessId] = []
-        stopped_early = False
-        for count, pid in enumerate(step_iter):
-            if count >= budget:
-                break
-            self.step(pid)
-            executed.append(pid)
-            if stop_condition is not None and stop_condition(self._step_index, self):
-                stopped_early = True
-                break
-        return RunResult(
-            executed_schedule=Schedule(steps=tuple(executed), n=self.n),
-            steps_executed=len(executed),
-            stopped_early=stopped_early,
-            halted_processes=self.halted_processes(),
-            outputs={pid: dict(state.automaton.outputs) for pid, state in self._states.items()},
-        )
+        return execute(self, schedule, max_steps, stop_condition, INSTRUMENTED)
 
     def run_fast(
         self,
@@ -245,127 +285,42 @@ class Simulator:
         stop_condition: Optional[StopCondition] = None,
         collect_trace: bool = False,
     ) -> RunResult:
-        """Drive the simulator over a schedule through the slim fast path.
+        """Drive the simulator over a schedule under the fast policy.
 
         Executes exactly the same steps as :meth:`run` — same register
         operations, same halting behaviour, same final outputs — but sheds the
         per-step bookkeeping that dominates long experiment runs:
 
-        * the per-pid state lookup is pre-resolved into a local table;
         * the executed trace is recorded only when ``collect_trace`` is true
           (otherwise ``executed_schedule`` comes back empty and :meth:`trace`
           does not grow, while ``steps_executed`` stays exact);
         * observers are sampled only on steps in which the stepped process
-          *published* an output (plus each process's first step), detected via
+          *published* an output (plus each process's first sampled step),
+          detected via
           :attr:`~repro.runtime.automaton.ProcessAutomaton.outputs_version`.
           Change-recording observers such as
           :class:`~repro.runtime.observers.OutputTracker` therefore record
-          byte-identical change sequences, because on every skipped step they
-          would have sampled an unchanged value; observers that rely on seeing
-          *every* step must use :meth:`run` instead.
+          byte-identical change sequences.  Observers that declared the
+          ``"every_step"`` capability are incompatible with this policy and
+          make the kernel raise :class:`SimulationError` up front.
 
         ``stop_condition``, when given, is still checked after every step.
         """
-        step_iter, budget = self._normalize_source(schedule, max_steps)
-        register_map = self.registers._registers
-        get_register = self.registers._get
-        observers = self._observers
-        sample_observers = bool(observers)
-        strict = self.strict
-        n = self.n
-        trace = self._trace
-        executed_steps: List[ProcessId] = []
-        # pid-indexed tables beat dict lookups in the hot loop; slot 0 unused.
-        state_table: List[Optional[ProcessState]] = [None] * (n + 1)
-        for known_pid, known_state in self._states.items():
-            state_table[known_pid] = known_state
-        last_versions: List[int] = [-1] * (n + 1)
-        stopped_early = False
-        step_index = self._step_index
-        start_index = step_index
-        try:
-            for pid in islice(step_iter, budget):
-                state = state_table[pid] if 0 < pid <= n else None
-                if state is None:
-                    raise SimulationError(f"unknown process id {pid}")
-                automaton = state.automaton
-                if state.halted:
-                    if strict:
-                        raise SimulationError(
-                            f"process {pid} was scheduled after its program returned"
-                        )
-                else:
-                    if state.started:
-                        generator = state.generator
-                        send_value = state.pending_result
-                    else:
-                        generator = automaton.program(automaton.context())
-                        state.generator = generator
-                        state.started = True
-                        send_value = None
-                    try:
-                        op = generator.send(send_value)
-                    except StopIteration as stop:
-                        self._halt(state, stop)
-                    else:
-                        op_type = type(op)
-                        if op_type is ReadOp:
-                            register = register_map.get(op.register)
-                            if register is None:
-                                register = get_register(op.register)
-                            register.read_count += 1
-                            state.pending_result = register.value
-                        elif op_type is WriteOp:
-                            register = register_map.get(op.register)
-                            if register is None:
-                                register = get_register(op.register)
-                            if register.writer is not None and register.writer != pid:
-                                register.write(op.value, pid)  # raises the canonical error
-                            register.write_count += 1
-                            register.value = op.value
-                            state.pending_result = None
-                        else:
-                            # Exact-type checks above keep the hot path cheap;
-                            # ReadOp/WriteOp *subclasses* (legal per
-                            # validate_operation) take this slower branch.
-                            operation = validate_operation(op)
-                            if isinstance(operation, ReadOp):
-                                state.pending_result = self.registers.read(
-                                    operation.register, reader=pid
-                                )
-                            else:
-                                self.registers.write(operation.register, operation.value, writer=pid)
-                                state.pending_result = None
-                state.steps_taken += 1
-                step_index += 1
-                if collect_trace:
-                    trace.append(pid)
-                    executed_steps.append(pid)
-                if sample_observers:
-                    version = automaton.outputs_version
-                    if last_versions[pid] != version:
-                        last_versions[pid] = version
-                        self._step_index = step_index
-                        for observer in observers:
-                            observer(step_index, pid, self)
-                if stop_condition is not None:
-                    self._step_index = step_index
-                    if stop_condition(step_index, self):
-                        stopped_early = True
-                        break
-        finally:
-            self._step_index = step_index
-        executed = step_index - start_index
-        return RunResult(
-            executed_schedule=Schedule(steps=tuple(executed_steps), n=self.n),
-            steps_executed=executed,
-            stopped_early=stopped_early,
-            halted_processes=self.halted_processes(),
-            outputs={pid: dict(state.automaton.outputs) for pid, state in self._states.items()},
-        )
+        policy = FAST_TRACED if collect_trace else FAST
+        return execute(self, schedule, max_steps, stop_condition, policy)
+
+    def run_with_policy(
+        self,
+        schedule: ScheduleSource,
+        policy: ExecutionPolicy,
+        max_steps: Optional[int] = None,
+        stop_condition: Optional[StopCondition] = None,
+    ) -> RunResult:
+        """Drive the simulator under an arbitrary :class:`ExecutionPolicy`."""
+        return execute(self, schedule, max_steps, stop_condition, policy)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals (shared with the kernel)
     # ------------------------------------------------------------------
     def _state(self, pid: ProcessId) -> ProcessState:
         state = self._states.get(pid)
@@ -382,48 +337,8 @@ class Simulator:
         state.steps_taken += 1
         self._trace.append(pid)
         self._step_index += 1
-        for observer in self._observers:
-            observer(self._step_index, pid, self)
-
-    def _normalize_source(
-        self, schedule: ScheduleSource, max_steps: Optional[int]
-    ) -> "tuple[Iterator[ProcessId], int]":
-        """Resolve a schedule source into ``(step iterator, step budget)``.
-
-        Budget semantics: for a finite :class:`Schedule` the budget is its
-        length, capped by ``max_steps`` when given; an
-        :class:`InfiniteSchedule` (or any bare iterable when ``max_steps`` is
-        given) is budgeted at exactly ``max_steps``; a bare iterable without
-        ``max_steps`` is materialized and budgeted at its full length.  An
-        explicit ``max_steps`` must be positive — a budget of zero or fewer
-        steps would silently execute nothing, which has never been what the
-        caller meant, so it is rejected with :class:`SimulationError`.
-        """
-        if max_steps is not None and max_steps < 1:
-            raise SimulationError(
-                f"max_steps must be a positive step budget, got {max_steps}; "
-                "a run that may execute zero steps is almost certainly a bug "
-                "(omit max_steps to run a finite schedule to its end)"
-            )
-        if isinstance(schedule, Schedule):
-            if schedule.n != self.n:
-                raise SimulationError(
-                    f"schedule over Π{schedule.n} cannot drive a simulator over Π{self.n}"
-                )
-            budget = len(schedule) if max_steps is None else min(max_steps, len(schedule))
-            return iter(schedule.steps), budget
-        if isinstance(schedule, InfiniteSchedule):
-            if schedule.n != self.n:
-                raise SimulationError(
-                    f"schedule over Π{schedule.n} cannot drive a simulator over Π{self.n}"
-                )
-            if max_steps is None:
-                raise SimulationError("an unbounded schedule needs an explicit max_steps")
-            return schedule.iter_steps(), max_steps
-        if max_steps is None:
-            materialized = list(schedule)
-            return iter(materialized), len(materialized)
-        return iter(schedule), max_steps
+        for entry in self._observers:
+            entry.observer(self._step_index, pid, self)
 
 
 def build_simulator(

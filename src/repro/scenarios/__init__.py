@@ -1,0 +1,64 @@
+"""Composable scenarios: declarative schedule sources for experiments.
+
+The scenario layer sits on top of :mod:`repro.schedules` and answers "which
+schedules can the harness express?" compositionally:
+
+* **families** (:mod:`repro.scenarios.families`) — named builders from
+  JSON-normalized parameters to schedule generators: the classic certified
+  generators plus crash-recovery churn, alternating-synchrony epochs, and
+  spliced adversarial suffixes;
+* **combinators** (:mod:`repro.scenarios.combinators`) — ``concat``,
+  ``interleave``, ``perturb``, ``with_crashes``: build new scenarios out of
+  existing ones;
+* **specs** (:mod:`repro.scenarios.spec`) — :class:`ScenarioSpec`, the
+  declarative form campaigns sweep and the agreement runner accepts.
+
+Everything a scenario builds is an ordinary
+:class:`~repro.schedules.base.ScheduleGenerator`, so scenarios plug into the
+simulator kernel, the agreement runner, the campaign engine and the
+``repro scenarios`` CLI without adapters.
+"""
+
+from .combinators import (
+    ConcatScenario,
+    CrashFilterScenario,
+    InterleaveScenario,
+    PerturbScenario,
+    concat,
+    interleave,
+    perturb,
+    with_crashes,
+)
+from .families import (
+    AlternatingSynchronyGenerator,
+    CrashRecoveryChurnGenerator,
+    ScenarioFamily,
+    available_families,
+    family,
+    family_descriptions,
+    register_family,
+    spliced_adversary,
+)
+from .spec import ScenarioSpec, build_generator, build_scenario
+
+__all__ = [
+    "ConcatScenario",
+    "CrashFilterScenario",
+    "InterleaveScenario",
+    "PerturbScenario",
+    "concat",
+    "interleave",
+    "perturb",
+    "with_crashes",
+    "AlternatingSynchronyGenerator",
+    "CrashRecoveryChurnGenerator",
+    "ScenarioFamily",
+    "available_families",
+    "family",
+    "family_descriptions",
+    "register_family",
+    "spliced_adversary",
+    "ScenarioSpec",
+    "build_generator",
+    "build_scenario",
+]

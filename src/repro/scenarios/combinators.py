@@ -1,0 +1,332 @@
+"""Scenario combinators: build new schedule families out of existing ones.
+
+Each combinator takes :class:`~repro.schedules.base.ScheduleGenerator` values
+and returns another one, so combined scenarios plug into everything that
+consumes generators — the simulator kernel, the agreement runner, the
+campaign engine and the CLI:
+
+* :func:`concat` — splice: a finite prefix of one scenario followed by
+  another scenario's infinite suffix (e.g. a benign prefix, then an
+  adversary).
+* :func:`interleave` — merge scenarios block-by-block (e.g. a synchronous
+  backbone interleaved with adversarial bursts).
+* :func:`perturb` — seeded step-level noise: insert random interleaving steps
+  or stutter (duplicate) steps, degrading observed timeliness bounds without
+  changing who is correct.
+* :func:`with_crashes` — impose an additional crash pattern on any scenario
+  by filtering its stream.
+
+Faultiness bookkeeping follows the paper's definition — a process is faulty
+iff it takes only finitely many steps in the infinite schedule — so each
+combinator derives its crash pattern from its parts (see the individual
+docstrings for the exact rule).  Structural synchrony guarantees generally do
+*not* survive composition: unless a combinator can justify one, it reports
+``None`` rather than an unsound certificate.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..runtime.crash import CrashPattern
+from ..schedules.base import ScheduleGenerator
+from ..types import ProcessId
+
+#: What :func:`with_crashes` accepts as the extra failure prescription.
+CrashesLike = Union[CrashPattern, Mapping[ProcessId, int], Iterable[ProcessId]]
+
+#: Perturbation kinds understood by :func:`perturb`.
+PERTURBATION_KINDS = ("noise", "stutter")
+
+
+def _require_same_n(parts: Sequence[ScheduleGenerator]) -> int:
+    sizes = {part.n for part in parts}
+    if len(sizes) != 1:
+        raise ConfigurationError(
+            f"combined scenarios must share one Πn, got n ∈ {sorted(sizes)}"
+        )
+    return sizes.pop()
+
+
+class ConcatScenario(ScheduleGenerator):
+    """``head``'s first ``switch_at`` steps, then ``tail`` forever.
+
+    Faultiness is a property of the infinite suffix (a finite prefix cannot
+    change who takes infinitely many steps), so the combined faulty set is
+    ``tail``'s.  The reported crash steps are rebased to *global* schedule
+    indices: ``tail``'s own step 0 is global step ``switch_at``, so a process
+    that crashes at tail-local step ``s > 0`` carries the global crash step
+    ``switch_at + s``; one that takes no tail step at all (``s == 0``) is
+    globally crashed from ``switch_at`` — or from ``head``'s earlier crash
+    step, if ``head`` also never schedules it.  Structural guarantees are
+    dropped: an arbitrary prefix may violate any window bound.
+    """
+
+    def __init__(
+        self, head: ScheduleGenerator, tail: ScheduleGenerator, switch_at: int
+    ) -> None:
+        n = _require_same_n((head, tail))
+        if switch_at < 0:
+            raise ConfigurationError(f"switch_at must be non-negative, got {switch_at}")
+        rebased: Dict[ProcessId, int] = {}
+        for pid, local_step in tail.crash_pattern.crash_steps.items():
+            if local_step > 0:
+                rebased[pid] = switch_at + local_step
+            else:
+                head_step = head.crash_pattern.crash_steps.get(pid)
+                rebased[pid] = (
+                    min(head_step, switch_at) if head_step is not None else switch_at
+                )
+        super().__init__(
+            n,
+            crash_pattern=CrashPattern.crashes_at(n, rebased)
+            if rebased
+            else CrashPattern.none(n),
+        )
+        self.head = head
+        self.tail = tail
+        self.switch_at = switch_at
+
+    @property
+    def description(self) -> str:
+        return (
+            f"splice: [{self.head.description}] for {self.switch_at} steps, "
+            f"then [{self.tail.description}]"
+        )
+
+    def _emit(self) -> Iterator[ProcessId]:
+        yield from islice(self.head.stream(), self.switch_at)
+        yield from self.tail.stream()
+
+
+class InterleaveScenario(ScheduleGenerator):
+    """Merge several scenarios by cycling through fixed-size blocks.
+
+    One merge cycle takes ``blocks[i]`` consecutive steps from part ``i``'s
+    stream, for each part in turn, forever.  A process is faulty in the merge
+    iff it is faulty in *every* part (any part that schedules it infinitely
+    often keeps it alive); its merged crash step is a safe upper bound on the
+    global index of its last possible appearance.
+    """
+
+    def __init__(
+        self,
+        parts: Sequence[ScheduleGenerator],
+        blocks: Union[int, Sequence[int]] = 1,
+    ) -> None:
+        if len(parts) < 2:
+            raise ConfigurationError("interleave needs at least two scenarios")
+        n = _require_same_n(parts)
+        if isinstance(blocks, int):
+            block_sizes: Tuple[int, ...] = (blocks,) * len(parts)
+        else:
+            block_sizes = tuple(int(b) for b in blocks)
+        if len(block_sizes) != len(parts):
+            raise ConfigurationError(
+                f"got {len(block_sizes)} block sizes for {len(parts)} scenarios"
+            )
+        if any(block < 1 for block in block_sizes):
+            raise ConfigurationError(f"block sizes must be >= 1, got {block_sizes}")
+        total_block = sum(block_sizes)
+        # Faulty iff faulty everywhere; part i's local step s surfaces in the
+        # merge no later than global step (s // block_i + 1) * total_block.
+        merged: Dict[ProcessId, int] = {}
+        common_faulty = frozenset.intersection(*(part.faulty for part in parts))
+        for pid in common_faulty:
+            bounds = []
+            for part, block in zip(parts, block_sizes):
+                local = part.crash_pattern.crash_steps[pid]
+                bounds.append((local // block + 1) * total_block)
+            merged[pid] = max(bounds)
+        super().__init__(
+            n,
+            crash_pattern=CrashPattern.crashes_at(n, merged)
+            if merged
+            else CrashPattern.none(n),
+        )
+        self.parts = tuple(parts)
+        self.blocks = block_sizes
+
+    @property
+    def description(self) -> str:
+        pieces = ", ".join(
+            f"{block}×[{part.description}]" for part, block in zip(self.parts, self.blocks)
+        )
+        return f"interleave: {pieces}"
+
+    def _emit(self) -> Iterator[ProcessId]:
+        streams = [part.stream() for part in self.parts]
+        while True:
+            for stream, block in zip(streams, self.blocks):
+                for _ in range(block):
+                    yield next(stream)
+
+
+class PerturbScenario(ScheduleGenerator):
+    """Seeded step-level perturbation of another scenario.
+
+    ``kind="noise"`` — *step interleaving noise*: before each inner step,
+    with probability ``rate``, insert one step of a uniformly random process
+    that is still alive at the current (output) index.  ``kind="stutter"`` —
+    *timeliness degradation*: after each inner step, with probability
+    ``rate``, repeat it once, stretching every other set's step windows.
+
+    Either perturbation only *adds* steps, so every process keeps its
+    infinitely-many-steps status and the inner crash pattern carries over
+    (inserted steps respect it).  Observed timeliness bounds degrade — that
+    is the point — so no structural guarantee is reported.
+
+    The inner crash pattern must be *static* (every crash at step 0):
+    insertions shift the inner steps to later output indices, so a timed
+    crash step would become false in the perturbed stream (the process would
+    still appear after its declared crash index).  To combine perturbation
+    with timed crashes, apply :func:`with_crashes` *around* the perturbed
+    scenario — it filters at output indices, so its pattern stays exact.
+    """
+
+    def __init__(
+        self,
+        inner: ScheduleGenerator,
+        kind: str = "noise",
+        rate: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if kind not in PERTURBATION_KINDS:
+            raise ConfigurationError(
+                f"unknown perturbation kind {kind!r}; expected one of {PERTURBATION_KINDS}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"perturbation rate must be in [0, 1], got {rate}")
+        if not inner.crash_pattern.is_static:
+            raise ConfigurationError(
+                "perturbations shift step indices, so timed crash steps would "
+                "become false in the perturbed stream; perturb the failure-free "
+                "(or initially-crashed) scenario and impose timed crashes with "
+                "with_crashes(perturb(...), ...) instead"
+            )
+        super().__init__(inner.n, crash_pattern=inner.crash_pattern)
+        self.inner = inner
+        self.kind = kind
+        self.rate = rate
+        self.seed = seed
+
+    @property
+    def description(self) -> str:
+        return (
+            f"perturb({self.kind}, rate={self.rate}, seed={self.seed}) "
+            f"of [{self.inner.description}]"
+        )
+
+    def _emit(self) -> Iterator[ProcessId]:
+        rng = random.Random(self.seed)
+        rng_random = rng.random
+        is_crashed = self.crash_pattern.is_crashed
+        noise = self.kind == "noise"
+        rate = self.rate
+        n = self.n
+        out_index = 0
+        for pid in self.inner.stream():
+            if noise and rng_random() < rate:
+                alive = [
+                    candidate
+                    for candidate in range(1, n + 1)
+                    if not is_crashed(candidate, out_index)
+                ]
+                if alive:
+                    yield rng.choice(alive)
+                    out_index += 1
+            yield pid
+            out_index += 1
+            if not noise and rng_random() < rate and not is_crashed(pid, out_index):
+                yield pid
+                out_index += 1
+
+
+class CrashFilterScenario(ScheduleGenerator):
+    """Impose an extra crash pattern on a scenario by filtering its stream.
+
+    Steps of a process the extra pattern has crashed (at the *output* step
+    index) are dropped; everything else passes through unchanged.  The
+    combined pattern is the merge of the inner pattern and the extra one.  If
+    the inner scenario keeps scheduling only crashed processes for a long
+    stretch (``guard`` consecutive drops), the filter fails loudly instead of
+    spinning forever.
+    """
+
+    def __init__(
+        self, inner: ScheduleGenerator, extra: CrashPattern, guard: int = 100_000
+    ) -> None:
+        if extra.n != inner.n:
+            raise ConfigurationError(
+                f"crash pattern over n={extra.n} does not match scenario n={inner.n}"
+            )
+        if guard < 1:
+            raise ConfigurationError(f"guard must be >= 1, got {guard}")
+        super().__init__(inner.n, crash_pattern=inner.crash_pattern.merged_with(extra))
+        self.inner = inner
+        self.extra = extra
+        self.guard = guard
+
+    @property
+    def description(self) -> str:
+        return f"[{self.inner.description}] with extra {self.extra.describe()}"
+
+    def _emit(self) -> Iterator[ProcessId]:
+        is_crashed = self.extra.is_crashed
+        out_index = 0
+        dropped = 0
+        for pid in self.inner.stream():
+            if is_crashed(pid, out_index):
+                dropped += 1
+                if dropped > self.guard:
+                    raise ConfigurationError(
+                        f"with_crashes starved: the inner scenario produced "
+                        f"{self.guard} consecutive steps of crashed processes"
+                    )
+                continue
+            dropped = 0
+            yield pid
+            out_index += 1
+
+
+# ----------------------------------------------------------------------
+# Functional spellings
+# ----------------------------------------------------------------------
+
+def concat(
+    head: ScheduleGenerator, tail: ScheduleGenerator, switch_at: int
+) -> ConcatScenario:
+    """Splice ``head``'s first ``switch_at`` steps onto ``tail``'s stream."""
+    return ConcatScenario(head, tail, switch_at)
+
+
+def interleave(
+    *parts: ScheduleGenerator, blocks: Union[int, Sequence[int]] = 1
+) -> InterleaveScenario:
+    """Merge scenarios by cycling through per-part blocks of steps."""
+    return InterleaveScenario(parts, blocks=blocks)
+
+
+def perturb(
+    inner: ScheduleGenerator, kind: str = "noise", rate: float = 0.1, seed: int = 0
+) -> PerturbScenario:
+    """Apply seeded interleaving noise or stutter to a scenario."""
+    return PerturbScenario(inner, kind=kind, rate=rate, seed=seed)
+
+
+def with_crashes(inner: ScheduleGenerator, crashes: CrashesLike) -> CrashFilterScenario:
+    """Impose an additional crash pattern on a scenario.
+
+    ``crashes`` may be a :class:`CrashPattern`, a ``pid -> crash step``
+    mapping, or an iterable of initially crashed process ids.
+    """
+    if isinstance(crashes, CrashPattern):
+        extra = crashes
+    elif isinstance(crashes, Mapping):
+        extra = CrashPattern.crashes_at(inner.n, {int(p): int(s) for p, s in crashes.items()})
+    else:
+        extra = CrashPattern.initial_crashes(inner.n, frozenset(int(p) for p in crashes))
+    return CrashFilterScenario(inner, extra)

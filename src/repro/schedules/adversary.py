@@ -75,6 +75,18 @@ class CarrierRotationAdversary(ScheduleGenerator):
         self.base_phase = base_phase
         self.phase_growth = phase_growth
 
+    @classmethod
+    def from_params(cls, params: dict) -> "CarrierRotationAdversary":
+        """Build from JSON-normalized scenario parameters (``n``, ``carriers``, phases, crashes)."""
+        n = int(params["n"])
+        return cls(
+            n=n,
+            carriers=frozenset(int(c) for c in params["carriers"]),
+            base_phase=int(params.get("base_phase", 4)),
+            phase_growth=int(params.get("phase_growth", 2)),
+            crash_pattern=CrashPattern.from_params(n, params),
+        )
+
     @property
     def description(self) -> str:
         return (
@@ -151,6 +163,17 @@ class EventuallySynchronousGenerator(ScheduleGenerator):
             raise ConfigurationError(f"chaos_steps must be non-negative, got {chaos_steps}")
         self.chaos_steps = chaos_steps
         self.seed = seed
+
+    @classmethod
+    def from_params(cls, params: dict) -> "EventuallySynchronousGenerator":
+        """Build from JSON-normalized scenario parameters (``n``, ``chaos_steps``, ``seed``, crashes)."""
+        n = int(params["n"])
+        return cls(
+            n,
+            chaos_steps=int(params.get("chaos_steps", 200)),
+            seed=int(params.get("seed", 0)),
+            crash_pattern=CrashPattern.from_params(n, params),
+        )
 
     @property
     def description(self) -> str:

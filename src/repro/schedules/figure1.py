@@ -59,6 +59,35 @@ class Figure1Generator(ScheduleGenerator):
         self.rotating = rotating_tuple
         self.reference = reference
 
+    @classmethod
+    def from_params(cls, params: dict) -> "Figure1Generator":
+        """Build from JSON-normalized scenario parameters (``n``, ``rotating``, ``reference``).
+
+        The scenario path additionally requires every process in ``Πn`` to be
+        scheduled: a process outside ``rotating ∪ {reference}`` would take no
+        step at all — faulty by the paper's definition — contradicting the
+        family's failure-free claim and silently skewing any verdict computed
+        against the correct set.
+        """
+        if params.get("crashes") or params.get("crash_steps"):
+            raise ConfigurationError(
+                "the figure1 schedule family is failure-free by construction; "
+                "wrap it with the with_crashes combinator to prescribe failures"
+            )
+        rotating_raw = params.get("rotating")
+        n = int(params.get("n", 3))
+        rotating = tuple(int(pid) for pid in rotating_raw) if rotating_raw else (1, 2)
+        reference = int(params.get("reference", 3))
+        silent = frozenset(range(1, n + 1)) - set(rotating) - {reference}
+        if silent:
+            raise ConfigurationError(
+                f"figure1 over n={n} leaves processes {sorted(silent)} without any "
+                f"step, which would make them faulty despite the family's "
+                f"failure-free claim; use n={len(rotating) + 1} or include them "
+                "in 'rotating'"
+            )
+        return cls(n=n, rotating=rotating, reference=reference)
+
     @property
     def description(self) -> str:
         members = ",".join(f"p{index + 1}={pid}" for index, pid in enumerate(self.rotating))

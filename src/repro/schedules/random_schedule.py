@@ -58,6 +58,18 @@ class RandomGenerator(ScheduleGenerator):
             raise ConfigurationError("at least one process must have a positive weight")
         self.weights = normalized
 
+    @classmethod
+    def from_params(cls, params: dict) -> "RandomGenerator":
+        """Build from JSON-normalized scenario parameters (``n``, ``seed``, ``weights``, crashes)."""
+        n = int(params["n"])
+        weights = params.get("weights")
+        return cls(
+            n,
+            seed=int(params.get("seed", 0)),
+            weights={int(pid): float(w) for pid, w in dict(weights).items()} if weights else None,
+            crash_pattern=CrashPattern.from_params(n, params),
+        )
+
     @property
     def description(self) -> str:
         return f"seeded random schedule (seed={self.seed})"

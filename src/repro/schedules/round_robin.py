@@ -46,6 +46,17 @@ class RoundRobinGenerator(ScheduleGenerator):
             raise ConfigurationError("round-robin order must contain at least one process")
         self.order = cycle
 
+    @classmethod
+    def from_params(cls, params: dict) -> "RoundRobinGenerator":
+        """Build from JSON-normalized scenario parameters (``n``, ``order``, crashes)."""
+        n = int(params["n"])
+        order = params.get("order")
+        return cls(
+            n,
+            order=tuple(int(pid) for pid in order) if order else None,
+            crash_pattern=CrashPattern.from_params(n, params),
+        )
+
     @property
     def description(self) -> str:
         return f"round-robin over {list(self.order)}"

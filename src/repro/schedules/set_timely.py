@@ -126,6 +126,28 @@ class SetTimelyGenerator(ScheduleGenerator):
         self.burst_growth = burst_growth
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_params(cls, params: dict) -> "SetTimelyGenerator":
+        """Build from JSON-normalized scenario parameters.
+
+        Requires ``n``, ``p_set`` and ``q_set``; ``bound``, ``seed``, crash
+        and burst parameters are optional with the constructor defaults.
+        """
+        n = int(params["n"])
+        return cls(
+            n=n,
+            p_set=frozenset(int(p) for p in params["p_set"]),
+            q_set=frozenset(int(q) for q in params["q_set"]),
+            bound=int(params.get("bound", 3)),
+            seed=int(params.get("seed", 0)),
+            crash_pattern=CrashPattern.from_params(n, params),
+            base_phase=int(params.get("base_phase", 4)),
+            phase_growth=int(params.get("phase_growth", 2)),
+            burst_set=frozenset(int(b) for b in params.get("burst_set") or []),
+            burst_base=int(params.get("burst_base", 0)),
+            burst_growth=int(params.get("burst_growth", 0)),
+        )
+
     @property
     def description(self) -> str:
         p = sorted(self.p_set)

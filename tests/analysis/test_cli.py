@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import CAMPAIGNS, EXPERIMENTS, build_parser, run
+from repro.scenarios import available_families
 
 
 class TestParser:
@@ -58,3 +60,115 @@ class TestCommands:
         output = "\n".join(lines)
         assert "trivial" in output
         assert "satisfied: True" in output
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        # Guards both resolution paths — installed distribution metadata and
+        # the source-tree pyproject.toml read — against drifting from
+        # pyproject.toml, the single source of truth.
+        import re
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.MULTILINE)
+        assert match is not None
+        assert __version__ == match.group(1)
+
+
+class TestScenariosCommand:
+    def test_listing_names_every_family(self):
+        lines = run(["scenarios"])
+        output = "\n".join(lines)
+        for name in available_families():
+            assert name in output
+        assert "with_crashes" in output  # combinators are advertised too
+
+    def test_run_one_family_prints_census_and_detector_tables(self):
+        lines = run(
+            [
+                "scenarios",
+                "crash-churn",
+                "--n", "3",
+                "--t", "1",
+                "--k", "1",
+                "--horizon", "3000",
+                "--seed", "9",
+                "--set", "period=32",
+                "--set", "outage=8",
+            ]
+        )
+        output = "\n".join(lines)
+        assert "crash-recovery churn (period=32, outage=8" in output
+        assert "schedule census" in output
+        assert "k-anti-Ω on this scenario" in output
+
+    def test_set_values_parse_lists_and_perturbations_apply(self):
+        lines = run(
+            [
+                "scenarios",
+                "spliced-adversary",
+                "--n", "3",
+                "--t", "1",
+                "--k", "1",
+                "--horizon", "2000",
+                "--set", "carriers=1,2",
+                "--set", "switch_at=500",
+                "--perturb", "noise:0.05:3",
+            ]
+        )
+        output = "\n".join(lines)
+        assert "carriers=[1, 2]" in output
+        assert "perturb(noise, rate=0.05, seed=3)" in output
+
+    def test_set_n_override_drives_the_census(self):
+        lines = run(
+            ["scenarios", "round-robin", "--set", "n=6", "--horizon", "1000",
+             "--t", "2", "--k", "2"]
+        )
+        output = "\n".join(lines)
+        assert "round-robin over [1, 2, 3, 4, 5, 6]" in output
+        assert "| 6       |" in output  # census covers the overridden Πn
+
+    def test_empty_set_value_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            run(["scenarios", "crash-churn", "--set", "period="])
+
+    def test_single_valued_set_parameter_coerced_to_list(self):
+        lines = run(
+            [
+                "scenarios",
+                "carrier-rotation",
+                "--n", "2",
+                "--t", "1",
+                "--k", "1",
+                "--horizon", "1000",
+                "--set", "carriers=1",
+            ]
+        )
+        assert any("carriers=[1]" in line for line in lines)
+
+    def test_bad_assignment_and_bad_perturbation_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["scenarios", "crash-churn", "--set", "period"])
+        with pytest.raises(SystemExit):
+            run(["scenarios", "crash-churn", "--perturb", ""])
+        with pytest.raises(SystemExit, match="numeric RATE"):
+            run(["scenarios", "crash-churn", "--perturb", "noise:"])
+        with pytest.raises(SystemExit, match="numeric RATE"):
+            run(["scenarios", "crash-churn", "--perturb", "noise:0.1:x"])
+
+
+class TestScenariosCampaign:
+    def test_campaign_scenarios_small_horizon(self):
+        lines = run(["campaign", "scenarios", "--horizon", "3000"])
+        output = "\n".join(lines)
+        assert "scenario family" in output
+        assert "crash-recovery churn" in output
+        assert "spliced adversarial suffix" in output

@@ -1,0 +1,179 @@
+"""Scenario combinators: concat, interleave, perturb, with_crashes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.crash import CrashPattern
+from repro.scenarios import concat, interleave, perturb, with_crashes
+from repro.schedules.adversary import CarrierRotationAdversary
+from repro.schedules.round_robin import RoundRobinGenerator
+from repro.schedules.random_schedule import RandomGenerator
+
+
+class TestConcat:
+    def test_switches_at_the_exact_step(self):
+        head = RoundRobinGenerator(3)
+        tail = RoundRobinGenerator(3, order=(3, 2, 1))
+        spliced = concat(head, tail, switch_at=4)
+        steps = spliced.generate(10).steps
+        assert steps == (1, 2, 3, 1, 3, 2, 1, 3, 2, 1)
+
+    def test_faultiness_comes_from_the_suffix(self):
+        head = RoundRobinGenerator(3)
+        tail = RoundRobinGenerator(
+            3, crash_pattern=CrashPattern.initial_crashes(3, {3})
+        )
+        spliced = concat(head, tail, switch_at=3)
+        assert spliced.faulty == frozenset({3})
+        # The prefix still schedules 3; the suffix never does.
+        assert 3 in spliced.generate(3).steps
+        assert 3 not in spliced.generate(20).steps[3:]
+
+    def test_crash_steps_rebased_to_global_indices(self):
+        # Tail-local crash step 10 with a 1000-step prefix: the process is
+        # alive (and scheduled) throughout the prefix, so the reported crash
+        # step must be global 1010, not tail-local 10.
+        head = RoundRobinGenerator(3)
+        tail = RoundRobinGenerator(3, crash_pattern=CrashPattern.crashes_at(3, {3: 10}))
+        spliced = concat(head, tail, switch_at=1000)
+        assert spliced.crash_pattern.crash_steps == {3: 1010}
+        assert not spliced.crash_pattern.is_crashed(3, 500)
+        steps = spliced.generate(1020).steps
+        assert 3 in steps[:1000]          # scheduled during the whole prefix
+        assert 3 in steps[1000:1010]      # and until its tail-local crash
+        assert 3 not in steps[1010:]
+
+    def test_initial_tail_crash_inherits_head_crash_step(self):
+        tail = RoundRobinGenerator(3, crash_pattern=CrashPattern.initial_crashes(3, {3}))
+        never_scheduled = concat(
+            RoundRobinGenerator(3, crash_pattern=CrashPattern.initial_crashes(3, {3})),
+            tail,
+            switch_at=12,
+        )
+        assert never_scheduled.crash_pattern.crash_steps == {3: 0}
+        alive_in_prefix = concat(RoundRobinGenerator(3), tail, switch_at=12)
+        assert alive_in_prefix.crash_pattern.crash_steps == {3: 12}
+
+    def test_mismatched_n_and_negative_switch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concat(RoundRobinGenerator(3), RoundRobinGenerator(4), switch_at=5)
+        with pytest.raises(ConfigurationError):
+            concat(RoundRobinGenerator(3), RoundRobinGenerator(3), switch_at=-1)
+
+    def test_nests_with_other_combinators(self):
+        inner = concat(RoundRobinGenerator(4), CarrierRotationAdversary(4, {1, 2}), 6)
+        outer = concat(RoundRobinGenerator(4, order=(4, 3, 2, 1)), inner, 2)
+        steps = outer.generate(9).steps
+        assert steps[:2] == (4, 3)
+        assert steps[2:8] == (1, 2, 3, 4, 1, 2)
+
+
+class TestInterleave:
+    def test_blocks_cycle_through_parts(self):
+        merged = interleave(
+            RoundRobinGenerator(4, order=(1, 2)),
+            RoundRobinGenerator(4, order=(3, 4)),
+            blocks=(2, 1),
+        )
+        assert merged.generate(9).steps == (1, 2, 3, 1, 2, 4, 1, 2, 3)
+
+    def test_faulty_only_when_faulty_everywhere(self):
+        crashed = CrashPattern.initial_crashes(3, {3})
+        part_a = RoundRobinGenerator(3, crash_pattern=crashed)
+        part_b = RoundRobinGenerator(3)
+        assert interleave(part_a, part_b).faulty == frozenset()
+        part_c = RoundRobinGenerator(3, order=(1, 2), crash_pattern=crashed)
+        both = interleave(part_a, part_c)
+        assert both.faulty == frozenset({3})
+        assert 3 not in both.generate(40).steps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleave(RoundRobinGenerator(3))
+        with pytest.raises(ConfigurationError):
+            interleave(RoundRobinGenerator(3), RoundRobinGenerator(3), blocks=(1,))
+        with pytest.raises(ConfigurationError):
+            interleave(RoundRobinGenerator(3), RoundRobinGenerator(3), blocks=0)
+
+
+class TestPerturb:
+    def test_rate_zero_is_identity(self):
+        base = RandomGenerator(4, seed=3)
+        noisy = perturb(RandomGenerator(4, seed=3), kind="noise", rate=0.0, seed=9)
+        assert noisy.generate(200).steps == base.generate(200).steps
+
+    def test_noise_inserts_steps_deterministically(self):
+        one = perturb(RoundRobinGenerator(3), kind="noise", rate=0.5, seed=7)
+        two = perturb(RoundRobinGenerator(3), kind="noise", rate=0.5, seed=7)
+        assert one.generate(100).steps == two.generate(100).steps
+        other_seed = perturb(RoundRobinGenerator(3), kind="noise", rate=0.5, seed=8)
+        assert one.generate(100).steps != other_seed.generate(100).steps
+
+    def test_noise_preserves_inner_steps_as_subsequence(self):
+        inner_steps = RoundRobinGenerator(3).generate(60).steps
+        noisy_steps = perturb(
+            RoundRobinGenerator(3), kind="noise", rate=0.3, seed=1
+        ).generate(120).steps
+        iterator = iter(noisy_steps)
+        assert all(step in iterator for step in inner_steps)
+
+    def test_stutter_duplicates_steps(self):
+        stuttered = perturb(RoundRobinGenerator(2), kind="stutter", rate=1.0, seed=0)
+        assert stuttered.generate(8).steps == (1, 1, 2, 2, 1, 1, 2, 2)
+
+    def test_noise_never_revives_crashed_processes(self):
+        crashed = CrashPattern.initial_crashes(4, {4})
+        noisy = perturb(
+            RoundRobinGenerator(4, crash_pattern=crashed), kind="noise", rate=0.9, seed=5
+        )
+        assert 4 not in noisy.generate(300).steps
+        assert noisy.faulty == frozenset({4})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            perturb(RoundRobinGenerator(2), kind="teleport")
+        with pytest.raises(ConfigurationError):
+            perturb(RoundRobinGenerator(2), rate=1.5)
+
+    def test_timed_inner_crashes_rejected_with_guidance(self):
+        # Insertions shift output indices, so a timed crash step would become
+        # false in the perturbed stream; the sound spelling wraps crashes
+        # around the perturbation instead.
+        timed = RoundRobinGenerator(3, crash_pattern=CrashPattern.crashes_at(3, {2: 10}))
+        with pytest.raises(ConfigurationError, match="with_crashes"):
+            perturb(timed, kind="noise", rate=0.5, seed=1)
+        sound = with_crashes(
+            perturb(RoundRobinGenerator(3), kind="noise", rate=0.5, seed=1), {2: 10}
+        )
+        steps = sound.generate(60).steps
+        assert 2 in steps[:10]
+        assert 2 not in steps[10:]
+        assert sound.faulty == frozenset({2})
+
+
+class TestWithCrashes:
+    def test_filters_steps_and_merges_faulty(self):
+        base = RoundRobinGenerator(4)
+        filtered = with_crashes(base, {3: 8})
+        steps = filtered.generate(24).steps
+        assert 3 in steps[:8]
+        assert 3 not in steps[8:]
+        assert filtered.faulty == frozenset({3})
+
+    def test_accepts_iterable_and_pattern(self):
+        assert with_crashes(RoundRobinGenerator(3), [2]).faulty == frozenset({2})
+        pattern = CrashPattern.crashes_at(3, {1: 5})
+        assert with_crashes(RoundRobinGenerator(3), pattern).faulty == frozenset({1})
+
+    def test_merges_with_inner_pattern(self):
+        inner = RoundRobinGenerator(4, crash_pattern=CrashPattern.initial_crashes(4, {1}))
+        combined = with_crashes(inner, [2])
+        assert combined.faulty == frozenset({1, 2})
+        assert set(combined.generate(30).steps) == {3, 4}
+
+    def test_starvation_fails_loudly(self):
+        # Round-robin over {1} with process 1 crashed: nothing can ever pass.
+        starved = with_crashes(RoundRobinGenerator(2, order=(1,)), [1])
+        starved.guard = 50
+        with pytest.raises(ConfigurationError, match="starved"):
+            starved.generate(1)

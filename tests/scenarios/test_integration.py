@@ -1,0 +1,68 @@
+"""Scenarios wired through the campaign engine and the agreement runner."""
+
+from repro.agreement.problem import distinct_inputs
+from repro.agreement.runner import solve_agreement
+from repro.campaign import CampaignEngine, CampaignSpec
+from repro.scenarios import ScenarioSpec
+from repro.types import AgreementInstance
+
+
+class TestScenariosAsCampaignAxes:
+    def test_scenario_family_is_a_sweepable_axis(self):
+        spec = CampaignSpec(
+            name="family-axis",
+            kind="detector",
+            base={"n": 3, "t": 1, "k": 1, "seed": 4, "horizon": 2_000},
+            axes={"schedule": ["round-robin", "crash-churn", "alternating-epochs"]},
+        )
+        result = CampaignEngine().run(spec)
+        assert [record.params["schedule"] for record in result.records] == [
+            "round-robin",
+            "crash-churn",
+            "alternating-epochs",
+        ]
+        for record in result.records:
+            assert record.payload["satisfied"] is True
+
+    def test_perturbations_are_part_of_the_run_identity(self):
+        base = {"n": 3, "t": 1, "k": 1, "seed": 4, "horizon": 1_500, "schedule": "crash-churn"}
+        spec = CampaignSpec(
+            name="perturbation-axis",
+            kind="detector",
+            runs=[
+                dict(base),
+                {**base, "perturbations": [{"kind": "stutter", "rate": 0.2, "seed": 1}]},
+            ],
+        )
+        result = CampaignEngine().run(spec)
+        keys = {record.key for record in result.records}
+        assert len(keys) == 2  # the perturbed run is a distinct cacheable artifact
+
+
+class TestScenariosThroughAgreementRunner:
+    def test_solve_agreement_accepts_a_scenario_spec(self):
+        problem = AgreementInstance(t=1, k=2, n=3)  # t < k: trivial protocol, fast
+        report = solve_agreement(
+            problem=problem,
+            inputs=distinct_inputs(3),
+            schedule=ScenarioSpec(
+                family="alternating-epochs",
+                params={"n": 3, "seed": 2, "sync_epoch": 8, "async_epoch": 8},
+            ),
+            max_steps=20_000,
+        )
+        assert report.verdict.satisfied
+        assert report.all_correct_decided
+
+    def test_scenario_crash_pattern_supplies_the_correct_set(self):
+        problem = AgreementInstance(t=1, k=2, n=3)
+        report = solve_agreement(
+            problem=problem,
+            inputs=distinct_inputs(3),
+            schedule=ScenarioSpec(
+                family="round-robin", params={"n": 3, "crashes": [3]}
+            ),
+            max_steps=20_000,
+        )
+        assert report.correct == frozenset({1, 2})
+        assert report.verdict.satisfied
