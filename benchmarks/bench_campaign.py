@@ -20,6 +20,14 @@ per-name lookups — which shrank the ratio while making both paths faster.)
 On a single-core container the remaining speedup comes entirely from the fast
 policy; with real cores the workers multiply it further.
 
+``test_batched_replica_speedup`` demonstrates the batched replica execution
+path this repository's trajectory pins (`BENCH_kernel.json`): on the
+no-observer campaign configuration — replicas of a harness-floor workload
+over the certified set-timely scenario — driving the batch over one compiled
+schedule through the kernel's bare loop must be at least **2×** faster per
+step than today's per-run fast path (a live generator stream per replica),
+with byte-identical outputs and register accounting.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_campaign.py``) or via
 ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_campaign.py --benchmark-only -s``.
 """
@@ -33,14 +41,19 @@ from repro.analysis.experiment import (
 )
 from repro.analysis.metrics import run_detector_experiment
 from repro.analysis.reporting import ascii_table
+from repro.bench.trajectory import KERNEL_SCENARIO, floor_workload
 from repro.campaign import CampaignEngine
 from repro.campaign.runner import build_generator
+from repro.runtime.automaton import FunctionAutomaton
+from repro.runtime.kernel import execute_batch
+from repro.runtime.simulator import build_simulator
 
 from _bench_utils import once
 
 HORIZON = 60_000
 WORKERS = 4
 REPEATS = 3
+BATCH_REPLICAS = 8
 
 
 def run_serial_legacy(horizon: int = HORIZON) -> str:
@@ -130,8 +143,81 @@ def test_campaign_vs_serial_speedup(benchmark):
         )
 
 
+def _replica(n: int):
+    return build_simulator(n, lambda pid: FunctionAutomaton(pid, n, floor_workload))
+
+
+def compare_batched(horizon: int = HORIZON, replicas: int = BATCH_REPLICAS, repeats: int = REPEATS) -> dict:
+    """Per-run fast path vs. batched bare execution on the floor workload."""
+    n = int(KERNEL_SCENARIO["n"])
+    compiled = build_generator(KERNEL_SCENARIO).compile(horizon)
+
+    per_run_best = batched_best = float("inf")
+    per_run_sims = batched_sims = None
+    for _ in range(repeats):
+        per_run_sims = [_replica(n) for _ in range(replicas)]
+        started = time.perf_counter()
+        per_run_results = [
+            sim.run_fast(build_generator(KERNEL_SCENARIO).stream(), max_steps=horizon)
+            for sim in per_run_sims
+        ]
+        per_run_best = min(per_run_best, time.perf_counter() - started)
+    for _ in range(repeats):
+        batched_sims = [_replica(n) for _ in range(replicas)]
+        started = time.perf_counter()
+        batched_results = execute_batch(batched_sims, compiled)
+        batched_best = min(batched_best, time.perf_counter() - started)
+
+    identical = [r.outputs for r in per_run_results] == [
+        r.outputs for r in batched_results
+    ] and all(
+        a.registers.total_reads() == b.registers.total_reads()
+        and a.registers.total_writes() == b.registers.total_writes()
+        and [a.steps_taken(p) for p in range(1, n + 1)]
+        == [b.steps_taken(p) for p in range(1, n + 1)]
+        for a, b in zip(per_run_sims, batched_sims)
+    )
+    steps = horizon * replicas
+    return {
+        "per_run_ns_step": per_run_best / steps * 1e9,
+        "batched_ns_step": batched_best / steps * 1e9,
+        "speedup": per_run_best / batched_best,
+        "identical": identical,
+    }
+
+
+def report_batched(result: dict) -> str:
+    return "\n".join(
+        [
+            f"batched replica execution — {BATCH_REPLICAS} replicas × {HORIZON} steps, floor workload",
+            f"per-run fast path (stream per replica):  {result['per_run_ns_step']:.0f} ns/step",
+            f"batched bare loop (one compiled buffer): {result['batched_ns_step']:.0f} ns/step",
+            f"speedup:                                 {result['speedup']:.2f}x",
+            f"outputs and register accounting equal:   {result['identical']}",
+        ]
+    )
+
+
+def test_batched_replica_speedup(benchmark):
+    result = once(benchmark, compare_batched)
+    print()
+    print(report_batched(result))
+    assert result["identical"], "batched execution diverged from the per-run fast path"
+    # Same smoke-mode caveat as above: the byte-identity invariant always
+    # holds; the wall-clock ratio is asserted only when timing is enabled.
+    if not getattr(benchmark, "disabled", False):
+        assert result["speedup"] >= 2.0, (
+            f"batched bare loop only {result['speedup']:.2f}x faster than the per-run fast path"
+        )
+
+
 if __name__ == "__main__":
     outcome = compare()
     print(report(outcome))
+    batched_outcome = compare_batched()
+    print()
+    print(report_batched(batched_outcome))
     if not outcome["identical"] or outcome["speedup"] < 1.3:
+        raise SystemExit(1)
+    if not batched_outcome["identical"] or batched_outcome["speedup"] < 2.0:
         raise SystemExit(1)

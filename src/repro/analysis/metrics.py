@@ -74,6 +74,7 @@ def run_detector_experiment(
     accusation_statistic: AccusationStatistic = paper_accusation_statistic,
     timeout_policy: TimeoutPolicy = paper_timeout_policy,
     fast: bool = False,
+    schedule: Optional[Any] = None,
 ) -> DetectorConvergenceReport:
     """Run the Figure 2 algorithm alone on a generated schedule and measure it.
 
@@ -84,6 +85,13 @@ def run_detector_experiment(
     ``on_publish`` capability, so publication-gated sampling records the same
     change sequences — which is why the campaign engine uses ``fast=True``
     unconditionally.
+
+    ``schedule`` optionally overrides the step source with a pre-materialized
+    one — in practice a :class:`~repro.core.schedule.CompiledSchedule` of this
+    very generator's stream, compiled once and shared across replicas by the
+    campaign layer.  The caller owns the equivalence: the source must yield
+    the same steps the generator would have emitted.  ``generator`` is still
+    consulted for the ground-truth faulty set and the report's provenance.
     """
     n = generator.n
     if horizon < 1:
@@ -97,7 +105,9 @@ def run_detector_experiment(
     fd_tracker, winner_tracker = make_detector_trackers()
     simulator.add_observer(fd_tracker)
     simulator.add_observer(winner_tracker)
-    if fast:
+    if schedule is not None:
+        simulator.run_fast(schedule, max_steps=horizon)
+    elif fast:
         simulator.run_fast(generator.stream(), max_steps=horizon)
     else:
         simulator.run(generator.infinite(), max_steps=horizon)

@@ -19,7 +19,11 @@ Every run kind executes through the execution kernel's fast policy
 (:meth:`Simulator.run_fast`); schedule sources — the classic generator
 families and the composable scenario families alike — are selected by the
 ``schedule`` parameter and built by :func:`repro.scenarios.spec.build_generator`,
-so a campaign sweeps scenarios exactly like numeric axes.  The experiment
+so a campaign sweeps scenarios exactly like numeric axes.  Schedule-driven
+kinds run over :class:`~repro.core.schedule.CompiledSchedule` buffers,
+compiled once per scenario in each worker and shared across the replicas the
+engine batches into that worker's chunks (see
+:func:`repro.campaign.runner.compiled_schedule_for`).  The experiment
 harnesses in :mod:`repro.analysis.experiment` are thin adapters that build a
 spec, run it through an engine, and shape the records into the paper's tables.
 """
@@ -28,10 +32,21 @@ from .cache import ResultCache
 from .engine import CampaignEngine, CampaignResult
 from .records import RunRecord, read_jsonl, write_jsonl
 from .spec import CampaignSpec, RunSpec, canonical_json, content_key
-from .runner import available_kinds, build_generator, execute_spec, register_kind
+from .runner import (
+    available_kinds,
+    build_generator,
+    compiled_schedule_for,
+    compiled_schedules_disabled,
+    execute_spec,
+    register_kind,
+    schedule_signature,
+)
 
 __all__ = [
     "build_generator",
+    "compiled_schedule_for",
+    "compiled_schedules_disabled",
+    "schedule_signature",
     "CampaignEngine",
     "CampaignResult",
     "CampaignSpec",

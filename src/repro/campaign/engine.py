@@ -6,14 +6,21 @@ Execution pipeline for one :class:`~repro.campaign.spec.CampaignSpec`:
 2. **Deduplicate** by content key — repeated (schedule, algorithm)
    configurations execute once and fan their payload back to every position.
 3. **Resolve** keys against the optional :class:`~repro.campaign.cache.ResultCache`.
-4. **Dispatch** the remaining unique runs: inline when ``workers <= 1``,
-   otherwise chunked across a ``ProcessPoolExecutor`` (fork start method when
-   available — workers inherit the loaded library, so spawn cost stays in the
-   low milliseconds).
-5. **Assemble** one :class:`~repro.campaign.records.RunRecord` per grid
+4. **Batch** the remaining unique runs by schedule identity
+   (:func:`~repro.campaign.runner.schedule_signature`), so replicas that share
+   a scenario land in the same worker chunk and hit the worker-local
+   compiled-schedule memo — the scenario's generator chain runs once per
+   chunk, every replica after the first replays the flat buffer.
+5. **Dispatch**: inline when ``workers <= 1``, otherwise chunked across a
+   persistent ``ProcessPoolExecutor`` (fork start method when available —
+   workers inherit the loaded library, so spawn cost stays in the low
+   milliseconds; the pool survives across ``run()`` invocations until
+   :meth:`CampaignEngine.close`).  Per-run wall time is measured *inside* the
+   worker, so the recorded timings stay honest under pooled dispatch.
+6. **Assemble** one :class:`~repro.campaign.records.RunRecord` per grid
    position, in grid order — the record list is identical for any worker
    count, which is what the worker-invariance tests pin down.
-6. Optionally **stream** the records to a JSON-lines file.
+7. Optionally **stream** the records to a JSON-lines file.
 
 Results are returned as a :class:`CampaignResult`, whose ``table()`` renders a
 generic parameters×payload table; the paper-specific experiment harnesses
@@ -30,15 +37,34 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from contextlib import nullcontext
+
 from ..errors import ConfigurationError
 from .cache import ResultCache
 from .records import RunRecord, record_columns, write_jsonl
-from .runner import execute_spec
+from .runner import (
+    compiled_schedules_disabled,
+    compiled_schedules_enabled,
+    execute_spec,
+    schedule_signature,
+)
 from .spec import CampaignSpec, RunSpec
 
 
-def _execute_chunk(chunk: List[RunSpec]) -> List[Dict[str, Any]]:
+def _execute_chunk(
+    chunk: List[RunSpec], compile_schedules: bool = True
+) -> List[Tuple[Dict[str, Any], float]]:
     """Worker-side entry point: execute a chunk of unique runs in order.
+
+    Returns ``(payload, elapsed_seconds)`` per run, with the wall time
+    measured here in the worker: under pooled dispatch the parent only
+    observes when a chunk's *result* arrives, which says nothing about how
+    long any individual run took.
+
+    ``compile_schedules`` is the parent's compiled-schedule toggle, snapshot
+    at dispatch time — pool workers are forked once and would otherwise never
+    see a later :func:`~repro.campaign.runner.compiled_schedules_disabled`
+    context in the parent.
 
     The cyclic GC is paused for the duration of the chunk — runs allocate heavily
     but create no reference cycles worth collecting mid-run.
@@ -46,7 +72,13 @@ def _execute_chunk(chunk: List[RunSpec]) -> List[Dict[str, Any]]:
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return [execute_spec(spec) for spec in chunk]
+        with nullcontext() if compile_schedules else compiled_schedules_disabled():
+            results: List[Tuple[Dict[str, Any], float]] = []
+            for spec in chunk:
+                started = time.perf_counter()
+                payload = execute_spec(spec)
+                results.append((payload, time.perf_counter() - started))
+            return results
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -121,6 +153,44 @@ class CampaignEngine:
         self.cache = cache
         self.chunk_size = chunk_size
         self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first parallel dispatch.
+
+        Reusing the pool across :meth:`run` invocations keeps worker-local
+        state warm — most importantly the compiled-schedule memo, so a second
+        campaign over the same scenarios skips compilation entirely — and
+        drops the per-campaign fork cost.
+        """
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - platforms without fork
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def run(self, spec: CampaignSpec) -> CampaignResult:
@@ -183,16 +253,36 @@ class CampaignEngine:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _batched_by_schedule(
+        pending: List[Tuple[str, RunSpec]]
+    ) -> List[Tuple[str, RunSpec]]:
+        """Reorder pending runs so same-scenario replicas are adjacent.
+
+        Adjacent replicas land in the same dispatch chunk, where the
+        worker-local compiled-schedule memo turns all but the first into
+        flat-buffer replays.  Grouping preserves first-seen order (of groups
+        and within groups), so the reordering is deterministic; record
+        assembly is keyed, so grid order is unaffected.
+        """
+        groups: Dict[Tuple[str, str], List[Tuple[str, RunSpec]]] = {}
+        for key, run_spec in pending:
+            signature = (run_spec.kind, schedule_signature(run_spec.param_dict()))
+            groups.setdefault(signature, []).append((key, run_spec))
+        return [item for group in groups.values() for item in group]
+
     def _execute_inline(
         self,
         pending: List[Tuple[str, RunSpec]],
         payloads: Dict[str, Dict[str, Any]],
         elapsed_by_key: Dict[str, float],
     ) -> None:
-        for key, run_spec in pending:
-            run_started = time.perf_counter()
-            payloads[key] = _execute_chunk([run_spec])[0]
-            elapsed_by_key[key] = time.perf_counter() - run_started
+        ordered = self._batched_by_schedule(pending)
+        for (key, _), (payload, elapsed) in zip(
+            ordered, _execute_chunk([spec for _, spec in ordered])
+        ):
+            payloads[key] = payload
+            elapsed_by_key[key] = elapsed
 
     def _execute_pool(
         self,
@@ -200,25 +290,27 @@ class CampaignEngine:
         payloads: Dict[str, Dict[str, Any]],
         elapsed_by_key: Dict[str, float],
     ) -> None:
+        ordered = self._batched_by_schedule(pending)
         chunk_size = self.chunk_size
         if chunk_size is None:
-            chunk_size = max(1, len(pending) // (self.workers * 2) or 1)
+            chunk_size = max(1, len(ordered) // (self.workers * 2) or 1)
         chunks: List[List[Tuple[str, RunSpec]]] = [
-            pending[start : start + chunk_size] for start in range(0, len(pending), chunk_size)
+            ordered[start : start + chunk_size] for start in range(0, len(ordered), chunk_size)
         ]
+        pool = self._ensure_pool()
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platforms without fork
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
-            chunk_started = time.perf_counter()
-            results = pool.map(_execute_chunk, [[spec for _, spec in chunk] for chunk in chunks])
-            for chunk, chunk_payloads in zip(chunks, results):
-                chunk_elapsed = time.perf_counter() - chunk_started
-                per_run = chunk_elapsed / max(1, len(chunk))
-                for (key, _), payload in zip(chunk, chunk_payloads):
+            compile_schedules = compiled_schedules_enabled()
+            results = pool.map(
+                _execute_chunk,
+                [[spec for _, spec in chunk] for chunk in chunks],
+                [compile_schedules] * len(chunks),
+            )
+            for chunk, chunk_results in zip(chunks, results):
+                for (key, _), (payload, elapsed) in zip(chunk, chunk_results):
                     payloads[key] = payload
-                    # Wall-clock attribution per run is approximate under a
-                    # pool (runs overlap); grid order and payloads are exact.
-                    elapsed_by_key[key] = per_run
-                chunk_started = time.perf_counter()
+                    elapsed_by_key[key] = elapsed
+        except BaseException:
+            # A broken pool (worker died, keyboard interrupt) must not leak
+            # into the next run() — tear it down and start fresh next time.
+            self.close()
+            raise

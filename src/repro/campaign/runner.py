@@ -28,8 +28,11 @@ sweep schedule families exactly like it sweeps numeric axes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from ..core.schedule import CompiledSchedule
 from ..errors import ConfigurationError
 from ..failure_detectors.anti_omega import (
     constant_timeout_policy,
@@ -41,7 +44,7 @@ from ..failure_detectors.anti_omega import (
     paper_timeout_policy,
 )
 from ..scenarios.spec import build_generator
-from .spec import RunSpec
+from .spec import RunSpec, canonical_json
 
 #: A kind is a pure function params -> payload (both JSON-normalized dicts).
 KindFunction = Callable[[Dict[str, Any]], Dict[str, Any]]
@@ -92,7 +95,97 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
 # is re-exported here because run kinds — and external campaign definitions —
 # have always imported it from this module.
 
-__all__ = ["build_generator", "register_kind", "available_kinds", "execute_spec"]
+__all__ = [
+    "build_generator",
+    "register_kind",
+    "available_kinds",
+    "execute_spec",
+    "schedule_signature",
+    "compiled_schedule_for",
+    "compiled_schedules_disabled",
+]
+
+
+# ----------------------------------------------------------------------
+# Compiled schedules: compile once per scenario, replay per replica
+# ----------------------------------------------------------------------
+#
+# Campaign runs are embarrassingly replica-parallel: many runs share one
+# (schedule family, schedule parameters) scenario and differ only in the
+# measurement configuration (t, k, statistic, ...).  Re-running the Python
+# generator chain per step for every replica is pure interpreter overhead, so
+# each worker process keeps a small content-addressed memo of
+# :class:`~repro.core.schedule.CompiledSchedule` buffers keyed by the
+# *schedule identity* of the run's parameters plus the compile horizon.  The
+# engine groups same-scenario replicas into the same worker chunk
+# (:meth:`~repro.campaign.engine.CampaignEngine`), so the memo turns a
+# per-replica generator chain into a single compile followed by flat-buffer
+# replays.
+
+#: Parameter keys that configure the measurement, never the schedule stream.
+#: Everything else — including keys a family builder ignores — is part of the
+#: schedule identity, which can only merge runs that truly share a scenario.
+_EXPERIMENT_KEYS = frozenset(
+    {"t", "k", "horizon", "statistic", "policy", "prefix_length", "count_size", "count_bound"}
+)
+
+#: Worker-local compiled-schedule memo (LRU, content-addressed).
+_COMPILED_MEMO: "OrderedDict[Tuple[str, int], CompiledSchedule]" = OrderedDict()
+_COMPILED_MEMO_LIMIT = 16
+_COMPILE_ENABLED = True
+
+
+def schedule_signature(params: Mapping[str, Any]) -> str:
+    """Canonical identity of the schedule stream selected by ``params``.
+
+    Two runs with equal signatures are driven by byte-identical schedules, so
+    they may share one compiled buffer.  The signature is the canonical JSON
+    of the parameters with the pure-measurement keys stripped.
+    """
+    return canonical_json(
+        {key: value for key, value in params.items() if key not in _EXPERIMENT_KEYS}
+    )
+
+
+def compiled_schedules_enabled() -> bool:
+    """Whether run kinds currently compile their schedules (see the toggle below)."""
+    return _COMPILE_ENABLED
+
+
+@contextmanager
+def compiled_schedules_disabled() -> Iterator[None]:
+    """Run kinds over live generator streams instead of compiled buffers.
+
+    Used by the benchmark trajectory (to measure exactly what compilation
+    buys) and by the equivalence tests (to pin that batched and per-run
+    execution produce byte-identical records).  The engine snapshots the flag
+    at dispatch time and forwards it into its worker processes
+    (:func:`~repro.campaign.engine._execute_chunk`), so the toggle also
+    governs pooled runs whose workers were forked earlier.
+    """
+    global _COMPILE_ENABLED
+    previous = _COMPILE_ENABLED
+    _COMPILE_ENABLED = False
+    try:
+        yield
+    finally:
+        _COMPILE_ENABLED = previous
+
+
+def compiled_schedule_for(params: Mapping[str, Any], horizon: int) -> Optional[CompiledSchedule]:
+    """The memoized compiled buffer for ``params``' scenario, or ``None`` when disabled."""
+    if not _COMPILE_ENABLED:
+        return None
+    key = (schedule_signature(params), int(horizon))
+    compiled = _COMPILED_MEMO.get(key)
+    if compiled is not None:
+        _COMPILED_MEMO.move_to_end(key)
+        return compiled
+    compiled = build_generator(params).compile(int(horizon))
+    _COMPILED_MEMO[key] = compiled
+    while len(_COMPILED_MEMO) > _COMPILED_MEMO_LIMIT:
+        _COMPILED_MEMO.popitem(last=False)
+    return compiled
 
 
 # ----------------------------------------------------------------------
@@ -109,16 +202,19 @@ def _detector_report(params: Dict[str, Any]):
             f"unknown statistic/policy: {params.get('statistic')!r}/{params.get('policy')!r}"
         )
     generator = build_generator(params)
+    horizon = int(params["horizon"])
+    compiled = compiled_schedule_for(params, horizon)
     report = run_detector_experiment(
         generator,
         t=int(params["t"]),
         k=int(params["k"]),
-        horizon=int(params["horizon"]),
+        horizon=horizon,
         accusation_statistic=statistic,
         timeout_policy=policy,
         fast=True,
+        schedule=compiled,
     )
-    return generator, report
+    return generator, compiled, report
 
 
 def _detector_payload(report) -> Dict[str, Any]:
@@ -138,19 +234,22 @@ def _detector_payload(report) -> Dict[str, Any]:
 
 
 def run_detector_kind(params: Dict[str, Any]) -> Dict[str, Any]:
-    _, report = _detector_report(params)
+    _, _, report = _detector_report(params)
     return _detector_payload(report)
 
 
 def run_separation_probe_kind(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..analysis.timeliness_matrix import timely_sets_of_size
 
-    generator, report = _detector_report(params)
+    generator, compiled, report = _detector_report(params)
     payload = _detector_payload(report)
     prefix_length = int(params.get("prefix_length", 20_000))
     count_size = int(params.get("count_size", params["k"]))
     count_bound = int(params.get("count_bound", 8))
-    prefix = generator.generate(min(int(params["horizon"]), prefix_length))
+    length = min(int(params["horizon"]), prefix_length)
+    # The compiled buffer is the same step stream the generator would emit,
+    # so the probe prefix can be sliced out instead of regenerated.
+    prefix = compiled.prefix(length) if compiled is not None else generator.generate(length)
     payload["timely_count"] = len(timely_sets_of_size(prefix, count_size, bound=count_bound))
     return payload
 

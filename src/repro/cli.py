@@ -63,6 +63,7 @@ EXPERIMENTS = {
     "scenarios": "list the composable scenario families, or run the detector on one",
     "campaign": "run a named campaign through the parallel campaign engine",
     "report": "re-aggregate a campaign's JSON-lines record file into a table",
+    "bench": "run the pinned perf benchmarks and write the BENCH_*.json trajectory",
 }
 
 #: Campaigns runnable via ``repro campaign <name>``, with one-line descriptions.
@@ -175,6 +176,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help=EXPERIMENTS["report"])
     report.add_argument("--jsonl", type=str, required=True, help="record file to aggregate")
+
+    bench = subparsers.add_parser("bench", help=EXPERIMENTS["bench"])
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small horizons / fewer repeats (what CI runs on every push)",
+    )
+    bench.add_argument(
+        "--out",
+        type=str,
+        default=".",
+        help="directory the BENCH_*.json files are written to (default: cwd)",
+    )
+    bench.add_argument(
+        "--check",
+        type=str,
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="BASELINE_DIR",
+        help="compare headline speedup ratios against the committed baseline "
+        "in BASELINE_DIR (default '.'); exit non-zero on a >25%% regression",
+    )
+    bench.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the EXPERIMENTS.md performance tables instead of a summary "
+        "(re-renders the committed trajectory in --out without re-measuring)",
+    )
 
     return parser
 
@@ -316,12 +346,18 @@ def _run_scenarios(args: argparse.Namespace) -> List[str]:
 
 
 def _run_campaign(args: argparse.Namespace) -> List[str]:
-    engine = CampaignEngine(
+    # The engine's worker pool is persistent; a CLI invocation runs exactly
+    # one campaign, so tear it down on the way out.
+    with CampaignEngine(
         workers=args.workers,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         chunk_size=args.chunk_size,
         jsonl_path=args.jsonl,
-    )
+    ) as engine:
+        return _run_campaign_with_engine(args, engine)
+
+
+def _run_campaign_with_engine(args: argparse.Namespace, engine: CampaignEngine) -> List[str]:
 
     def horizon(default: int) -> int:
         return args.horizon if args.horizon is not None else default
@@ -387,6 +423,45 @@ def _run_campaign(args: argparse.Namespace) -> List[str]:
         + (f", records -> {args.jsonl}" if args.jsonl else "")
         + (f", cache -> {args.cache_dir}" if args.cache_dir else "")
     )
+    return lines
+
+
+def _run_bench(args: argparse.Namespace) -> List[str]:
+    from .bench import (
+        compare_trajectories,
+        load_trajectory,
+        performance_markdown,
+        write_trajectory,
+    )
+
+    if args.markdown:
+        kernel_doc, campaign_doc = load_trajectory(args.out)
+        return [performance_markdown(kernel_doc, campaign_doc)]
+
+    # Load the baseline before measuring: with --out and --check both
+    # pointing at the repo root, writing first would overwrite the committed
+    # baseline and turn the regression check into a self-comparison.
+    baseline = load_trajectory(args.check) if args.check is not None else None
+    kernel_doc, campaign_doc, paths = write_trajectory(args.out, smoke=args.smoke)
+    lines = [
+        f"benchmark trajectory ({'smoke' if args.smoke else 'full'} mode):",
+        *(f"  wrote {path}" for path in paths),
+        f"  kernel headline   (bare batched vs. per-run fast): "
+        f"{kernel_doc['headline']['batched_vs_fast_stream']}x",
+        f"  campaign headline (batched vs. streamed engine):   "
+        f"{campaign_doc['headline']['batched_vs_stream']}x",
+        f"  campaign payloads identical across paths:          "
+        f"{campaign_doc['payloads_identical']}",
+    ]
+    if baseline is not None:
+        failures = compare_trajectories(kernel_doc, campaign_doc, *baseline)
+        if failures:
+            for failure in failures:
+                lines.append(f"  REGRESSION: {failure}")
+            for line in lines:
+                print(line)
+            raise SystemExit(1)
+        lines.append(f"  regression check against {args.check}: ok")
     return lines
 
 
@@ -485,6 +560,8 @@ def run(argv: Optional[Sequence[str]] = None) -> List[str]:
         return _run_campaign(args)
     if args.command == "report":
         return _run_report(args.jsonl)
+    if args.command == "bench":
+        return _run_bench(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -12,7 +12,7 @@ from .reductions import (
     pad_witness_to_resilience,
     verify_fictitious_membership,
 )
-from .schedule import InfiniteSchedule, Schedule, ScheduleBuilder, interleave
+from .schedule import CompiledSchedule, InfiniteSchedule, Schedule, ScheduleBuilder, interleave
 from .solvability import (
     SeparationStatement,
     SolvabilityResult,
@@ -52,6 +52,7 @@ __all__ = [
     "embed_with_fictitious_processes",
     "pad_witness_to_resilience",
     "verify_fictitious_membership",
+    "CompiledSchedule",
     "InfiniteSchedule",
     "Schedule",
     "ScheduleBuilder",

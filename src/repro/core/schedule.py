@@ -17,6 +17,11 @@ This module provides:
   *fault hint* describing which processes stop taking steps (so that the
   paper's "correct/faulty" notions are decidable for generated schedules even
   though we only ever materialize finite prefixes).
+* :class:`CompiledSchedule` — a schedule prefix compiled once into a flat
+  ``array('i')`` step buffer plus crash-pattern metadata.  Replica sweeps
+  (campaigns, benchmarks) drive many simulators over the same scenario; the
+  compiled form lets them stop re-running the Python generator chain per step
+  and iterate a dense C-level buffer instead.
 
 A finite prefix can never witness that a process is faulty (the process might
 simply be slow), so :class:`Schedule` carries an optional ``faulty_hint``: the
@@ -27,9 +32,10 @@ ground truth and say so in their docstrings.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ScheduleError
 from ..types import ProcessId, ProcessSet, StepSequence, process_set, universe
@@ -344,6 +350,111 @@ class InfiniteSchedule:
     def correct(self) -> ProcessSet:
         """Processes that are correct in the full infinite schedule."""
         return universe(self.n) - self.faulty
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """A schedule prefix compiled into a flat step buffer, plus crash metadata.
+
+    Compilation happens once per scenario (``ScheduleGenerator.compile``):
+    the generator chain is run to materialize its first ``len(steps)`` steps
+    into an ``array('i')``, after which any number of replicas can iterate the
+    raw buffer at C speed.  The execution kernel recognizes this type directly
+    (:func:`repro.runtime.kernel.normalize_source`), and
+    :func:`repro.runtime.kernel.execute_batch` drives whole replica batches
+    over one shared buffer.
+
+    ``crash_steps`` carries the producing generator's crash pattern as a plain
+    ``pid -> step`` mapping (the step index from which the process takes no
+    further step), so :meth:`prefix` can attach the same ``faulty_hint`` that
+    :meth:`~repro.schedules.base.ScheduleGenerator.generate` would have.
+
+    The buffer is validated once at construction (every step inside ``Πn``),
+    which is what lets hot loops consume it unchecked.
+    """
+
+    n: int
+    steps: array
+    crash_steps: Mapping[ProcessId, int] = field(default_factory=dict)
+    description: str = "compiled schedule"
+    _step_counts: Optional[Dict[ProcessId, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ScheduleError(f"compiled schedule needs n >= 1, got n={self.n}")
+        steps = self.steps
+        if not isinstance(steps, array) or steps.typecode != "i":
+            steps = array("i", steps)
+            object.__setattr__(self, "steps", steps)
+        if len(steps) and not 1 <= min(steps) <= max(steps) <= self.n:
+            bad = min(steps) if min(steps) < 1 else max(steps)
+            raise ScheduleError(
+                f"compiled schedule contains process {bad}, outside Πn = {{1..{self.n}}}"
+            )
+        normalized: Dict[ProcessId, int] = {}
+        for pid, step in dict(self.crash_steps).items():
+            if not 1 <= int(pid) <= self.n:
+                raise ScheduleError(f"crash metadata mentions unknown process {pid}")
+            if int(step) < 0:
+                raise ScheduleError(
+                    f"crash step for process {pid} must be >= 0, got {step}"
+                )
+            normalized[int(pid)] = int(step)
+        object.__setattr__(self, "crash_steps", normalized)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self.steps)
+
+    @property
+    def faulty(self) -> ProcessSet:
+        """Processes faulty in the compiled scenario's infinite schedule."""
+        return frozenset(self.crash_steps)
+
+    def crashed_by(self, length: int) -> ProcessSet:
+        """Processes that have already crashed within the first ``length`` steps."""
+        return frozenset(pid for pid, step in self.crash_steps.items() if step <= length)
+
+    def step_counts(self) -> Dict[ProcessId, int]:
+        """Occurrence counts over the whole buffer, for every process of ``Πn``.
+
+        Computed once and cached: the hot loops use these to credit
+        ``steps_taken`` in bulk instead of counting per step, which is valid
+        precisely because a full-buffer run executes every buffered step.
+        """
+        counts = self._step_counts
+        if counts is None:
+            counter = Counter(self.steps)
+            counts = {pid: counter.get(pid, 0) for pid in range(1, self.n + 1)}
+            object.__setattr__(self, "_step_counts", counts)
+        return counts
+
+    def prefix(self, length: Optional[int] = None) -> Schedule:
+        """Materialize (a prefix of) the buffer as a rich :class:`Schedule`.
+
+        The prefix carries the same faulty hint a generator's ``generate``
+        would attach: the processes that have crashed by the end of the prefix.
+        """
+        if length is None:
+            length = len(self.steps)
+        if length < 0:
+            raise ScheduleError(f"prefix length must be non-negative, got {length}")
+        return Schedule(
+            steps=tuple(self.steps[:length]),
+            n=self.n,
+            faulty_hint=self.crashed_by(length) or None,
+        )
+
+    def describe(self) -> str:
+        return f"<CompiledSchedule n={self.n} len={len(self.steps)} [{self.description}]>"
+
+    def __repr__(self) -> str:  # pragma: no cover - repr is cosmetic
+        return self.describe()
 
 
 def interleave(schedules: Sequence[Schedule]) -> Schedule:

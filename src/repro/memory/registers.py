@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
 
-from ..errors import RegisterError
+from ..errors import ConfigurationError, RegisterError
 from ..types import ProcessId
 
 #: Register names can be any hashable value; algorithms typically use tuples
@@ -116,10 +116,23 @@ class RegisterFile:
         """Declare a family of registers ``(prefix, index)`` with a shared initial value.
 
         When ``owner_from_index`` is true each index is interpreted as the
-        owning process id (used for per-process registers like ``Heartbeat[p]``).
+        owning process id (used for per-process registers like ``Heartbeat[p]``)
+        and must therefore be an integer — a non-integer index cannot name a
+        process, so it is rejected with :class:`ConfigurationError` rather
+        than silently minting an unowned register that would dodge the
+        single-writer discipline.
         """
         for index in indices:
-            writer = index if owner_from_index and isinstance(index, int) else None
+            if owner_from_index:
+                if not isinstance(index, int) or isinstance(index, bool):
+                    raise ConfigurationError(
+                        f"declare_array({prefix!r}, ..., owner_from_index=True) needs "
+                        f"integer process-id indices, got {index!r}; pass "
+                        "owner_from_index=False for non-process-indexed registers"
+                    )
+                writer: Optional[ProcessId] = index
+            else:
+                writer = None
             self.declare((prefix, index), initial=initial, writer=writer)
 
     # ------------------------------------------------------------------

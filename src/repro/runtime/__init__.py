@@ -19,6 +19,7 @@ from .kernel import (
     INSTRUMENTED,
     ON_PUBLISH,
     ExecutionPolicy,
+    execute_batch,
     trace_sampling,
 )
 from .simulator import ObserverEntry, RunResult, Simulator, build_simulator
@@ -30,6 +31,7 @@ __all__ = [
     "INSTRUMENTED",
     "ON_PUBLISH",
     "ExecutionPolicy",
+    "execute_batch",
     "trace_sampling",
     "ObserverEntry",
     "FunctionAutomaton",

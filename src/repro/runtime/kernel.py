@@ -12,6 +12,21 @@ privates.  This module replaces both bodies with a single loop,
   :attr:`~repro.runtime.automaton.ProcessAutomaton.outputs_version`);
 * whether the executed trace is recorded, and at which stride.
 
+Two specializations keep campaign-scale replica sweeps fast without forking
+the semantics:
+
+* :func:`_execute_bare` — when a run attaches no observers, records no trace
+  and has no stop condition (the no-instrumentation campaign configuration),
+  :func:`execute` selects a tighter loop up front instead of paying dead
+  per-step branches.  The bare loop executes exactly the same steps with the
+  same externally observable effects (outputs, halting, register operation
+  counts, per-process step counts); it only skips work whose results nobody
+  asked for.
+* :func:`execute_batch` — drives a batch of independent replicas over one
+  shared schedule source (ideally a
+  :class:`~repro.core.schedule.CompiledSchedule`, whose flat ``array('i')``
+  buffer is normalized once and iterated per replica at C speed).
+
 The kernel enforces observer *capabilities*: an observer that needs to see
 every step (capability ``"every_step"``) may only run under an every-step
 sampling policy; asking for publication-gated sampling with such an observer
@@ -31,11 +46,24 @@ kernel never touches another module's privates.
 
 from __future__ import annotations
 
+from array import array
+from collections import Counter
 from dataclasses import dataclass
 from itertools import islice
-from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..core.schedule import InfiniteSchedule, Schedule
+from ..core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
 from ..errors import SimulationError
 from ..types import ProcessId
 from .automaton import ReadOp, WriteOp, validate_operation
@@ -119,12 +147,22 @@ def trace_sampling(stride: int) -> ExecutionPolicy:
     )
 
 
+def _check_max_steps(max_steps: Optional[int]) -> None:
+    if max_steps is not None and max_steps < 1:
+        raise SimulationError(
+            f"max_steps must be a positive step budget, got {max_steps}; "
+            "a run that may execute zero steps is almost certainly a bug "
+            "(omit max_steps to run a finite schedule to its end)"
+        )
+
+
 def normalize_source(
     n: int, schedule: "ScheduleSource", max_steps: Optional[int]
 ) -> Tuple[Iterator[ProcessId], int]:
     """Resolve a schedule source into ``(step iterator, step budget)``.
 
-    Budget semantics: for a finite :class:`Schedule` the budget is its length,
+    Budget semantics: for a finite :class:`Schedule` or
+    :class:`~repro.core.schedule.CompiledSchedule` the budget is its length,
     capped by ``max_steps`` when given; an :class:`InfiniteSchedule` (or any
     bare iterable when ``max_steps`` is given) is budgeted at exactly
     ``max_steps``; a bare iterable without ``max_steps`` is materialized and
@@ -133,12 +171,15 @@ def normalize_source(
     never been what the caller meant, so it is rejected with
     :class:`SimulationError`.
     """
-    if max_steps is not None and max_steps < 1:
-        raise SimulationError(
-            f"max_steps must be a positive step budget, got {max_steps}; "
-            "a run that may execute zero steps is almost certainly a bug "
-            "(omit max_steps to run a finite schedule to its end)"
-        )
+    _check_max_steps(max_steps)
+    if isinstance(schedule, CompiledSchedule):
+        if schedule.n != n:
+            raise SimulationError(
+                f"schedule over Π{schedule.n} cannot drive a simulator over Π{n}"
+            )
+        steps = schedule.steps
+        budget = len(steps) if max_steps is None else min(max_steps, len(steps))
+        return iter(steps), budget
     if isinstance(schedule, Schedule):
         if schedule.n != n:
             raise SimulationError(
@@ -193,12 +234,35 @@ def execute(
     exactly the same steps — the same register operations, halting behaviour,
     final outputs and step counts; policies only choose what is *recorded*
     along the way (see :class:`ExecutionPolicy`).
-    """
-    from .simulator import RunResult  # local import: simulator imports this module
 
+    When nothing is recorded at all — no observers attached, no trace
+    collected, no stop condition — the per-step recording branches are dead,
+    and the kernel selects the specialized :func:`_execute_bare` loop up
+    front.
+    """
     step_iter, budget = normalize_source(simulator.n, schedule, max_steps)
     entries = simulator.observer_entries()
     check_observer_capabilities(policy, entries)
+    if not entries and stop_condition is None and not policy.collect_trace:
+        if isinstance(schedule, CompiledSchedule) and budget == len(schedule.steps):
+            # The whole buffer is the budget: iterate the array itself and
+            # credit per-process step counts in bulk from the shared tally.
+            return _execute_bare_counted(simulator, schedule.steps, schedule.step_counts())
+        return _execute_bare(simulator, islice(step_iter, budget))
+    return _execute_general(simulator, step_iter, budget, stop_condition, policy, entries)
+
+
+def _execute_general(
+    simulator: "Simulator",
+    step_iter: Iterator[ProcessId],
+    budget: int,
+    stop_condition: Optional["StopCondition"],
+    policy: ExecutionPolicy,
+    entries,
+) -> "RunResult":
+    """The fully featured step loop: observers, trace recording, stop conditions."""
+    from .simulator import RunResult  # local import: simulator imports this module
+
     observers = [entry.observer for entry in entries]
     sample_observers = bool(observers)
     sample_every = policy.sampling == EVERY_STEP
@@ -305,3 +369,215 @@ def execute(
             pid: dict(state.automaton.outputs) for pid, state in simulator._states.items()
         },
     )
+
+
+def _execute_bare(simulator: "Simulator", source: Iterable[ProcessId]) -> "RunResult":
+    """Adapter: run an arbitrary budgeted step source through the bare loop.
+
+    The source is materialized into a flat buffer and tallied once (one
+    C-speed pass over at most the budget), then executed by
+    :func:`_execute_bare_counted` — there is exactly one bare loop body to
+    keep equivalent with the general loop.
+    """
+    buffer = source if isinstance(source, array) else array("i", source)
+    counter = Counter(buffer)
+    counts = {pid: counter.get(pid, 0) for pid in simulator._states}
+    return _execute_bare_counted(simulator, buffer, counts)
+
+
+
+def _execute_bare_counted(
+    simulator: "Simulator", buffer: Sequence[ProcessId], counts: Dict[ProcessId, int]
+) -> "RunResult":
+    """The bare loop: the single no-instrumentation body behind both entries.
+
+    ``buffer`` holds exactly the budgeted steps — a whole
+    :class:`CompiledSchedule` array with its cached
+    :meth:`~CompiledSchedule.step_counts` tally, or any other source
+    materialized and tallied by the :func:`_execute_bare` adapter.  Because a
+    completed run executes every buffered step, ``steps_taken`` can be
+    credited in bulk after the loop instead of being counted per step — the
+    loop only keeps a plain running total so that an exception (a
+    single-writer violation, an algorithm bug) still leaves exact accounting:
+    on the error path the partial per-process tally is recounted from the
+    consumed buffer prefix.
+    """
+    from .simulator import RunResult  # local import: simulator imports this module
+
+    registers = simulator.registers
+    register_map, resolve_register = registers.fast_ops()
+    register_get = register_map.get
+    registers_read = registers.read
+    registers_write = registers.write
+    strict = simulator.strict
+    n = simulator.n
+    states = simulator._states
+    states_get = states.get
+    halt = simulator._halt
+    read_op, write_op = ReadOp, WriteOp
+    sends: Dict[ProcessId, Optional[Callable[[Any], Any]]] = {}
+    pending: Dict[ProcessId, Any] = {}
+    for pid, state in states.items():
+        if state.halted:
+            sends[pid] = None
+        elif state.started:
+            sends[pid] = state.generator.send
+            pending[pid] = state.pending_result
+    sends_get = sends.get
+    executed = 0
+    try:
+        for pid in buffer:
+            send = sends_get(pid)
+            if send is None:
+                # Cold paths: a process's first step, halted processes, and —
+                # for buffers materialized from raw iterables — unknown pids
+                # (compiled buffers are validated at construction instead).
+                state = states_get(pid)
+                if state is None:
+                    raise SimulationError(f"unknown process id {pid}")
+                if state.halted:
+                    if strict:
+                        raise SimulationError(
+                            f"process {pid} was scheduled after its program returned"
+                        )
+                    executed += 1
+                    continue
+                automaton = state.automaton
+                generator = automaton.program(automaton.context())
+                state.generator = generator
+                state.started = True
+                send = generator.send
+                sends[pid] = send
+                send_value = None
+            else:
+                send_value = pending[pid]
+            try:
+                op = send(send_value)
+            except StopIteration as stop:
+                state = states[pid]
+                state.pending_result = pending.pop(pid, None)
+                halt(state, stop)
+                sends[pid] = None
+            else:
+                op_type = type(op)
+                if op_type is read_op:
+                    register = register_get(op.register)
+                    if register is None:
+                        register = resolve_register(op.register)
+                    register.read_count += 1
+                    pending[pid] = register.value
+                elif op_type is write_op:
+                    register = register_get(op.register)
+                    if register is None:
+                        register = resolve_register(op.register)
+                    if register.writer is not None and register.writer != pid:
+                        register.write(op.value, pid)  # raises the canonical error
+                    register.write_count += 1
+                    register.value = op.value
+                    pending[pid] = None
+                else:
+                    operation = validate_operation(op)
+                    if isinstance(operation, ReadOp):
+                        pending[pid] = registers_read(operation.register, reader=pid)
+                    else:
+                        registers_write(operation.register, operation.value, writer=pid)
+                        pending[pid] = None
+            executed += 1
+    finally:
+        if executed == len(buffer):
+            for pid, count in counts.items():
+                if count:
+                    states[pid].steps_taken += count
+        else:
+            for pid in buffer[:executed]:
+                states[pid].steps_taken += 1
+        for pid, send in sends.items():
+            if send is not None:
+                states[pid].pending_result = pending.get(pid)
+        simulator._step_index += executed
+    return RunResult(
+        executed_schedule=Schedule(steps=(), n=n),
+        steps_executed=executed,
+        stopped_early=False,
+        halted_processes=simulator.halted_processes(),
+        outputs={pid: dict(state.automaton.outputs) for pid, state in states.items()},
+    )
+
+
+def _materialize_for_batch(
+    n: int, schedule: "ScheduleSource", max_steps: Optional[int]
+) -> CompiledSchedule:
+    """Turn any schedule source into a shared, re-iterable compiled buffer.
+
+    Batch execution drives every replica over the *same* steps, so one-shot
+    iterables must be materialized exactly once.  Budget semantics mirror
+    :func:`normalize_source`.
+    """
+    _check_max_steps(max_steps)
+    if isinstance(schedule, (CompiledSchedule, Schedule, InfiniteSchedule)):
+        if schedule.n != n:
+            raise SimulationError(
+                f"schedule over Π{schedule.n} cannot drive a simulator over Π{n}"
+            )
+        if isinstance(schedule, CompiledSchedule):
+            return schedule
+        if isinstance(schedule, Schedule):
+            return CompiledSchedule(n=n, steps=schedule.steps, description="materialized")
+        if max_steps is None:
+            raise SimulationError("an unbounded schedule needs an explicit max_steps")
+        return CompiledSchedule(
+            n=n,
+            steps=islice(schedule.iter_steps(), max_steps),
+            crash_steps={pid: 0 for pid in schedule.faulty},
+            description=schedule.description,
+        )
+    steps = iter(schedule)
+    if max_steps is not None:
+        steps = islice(steps, max_steps)
+    return CompiledSchedule(n=n, steps=steps, description="materialized")
+
+
+def execute_batch(
+    simulators: Sequence["Simulator"],
+    schedule: "ScheduleSource",
+    max_steps: Optional[int] = None,
+    policy: ExecutionPolicy = FAST,
+) -> List["RunResult"]:
+    """Drive a batch of independent replicas over one shared schedule source.
+
+    All replicas must live over the same ``Πn``.  The source is normalized
+    once (non-re-iterable sources are materialized into a shared
+    :class:`~repro.core.schedule.CompiledSchedule` buffer), then each replica
+    is executed to the same step budget under ``policy`` — through the bare
+    loop when the replica attaches no instrumentation, through the general
+    loop otherwise.  Results come back in replica order and are identical to
+    ``[execute(sim, schedule, max_steps, None, policy) for sim in simulators]``.
+    """
+    sims = list(simulators)
+    if not sims:
+        return []
+    n = sims[0].n
+    for sim in sims[1:]:
+        if sim.n != n:
+            raise SimulationError(
+                f"execute_batch needs replicas over one Πn, got n={n} and n={sim.n}"
+            )
+    compiled = _materialize_for_batch(n, schedule, max_steps)
+    steps = compiled.steps
+    budget = len(steps) if max_steps is None else min(max_steps, len(steps))
+    whole_buffer = budget == len(steps)
+    counts = compiled.step_counts() if whole_buffer else None
+    results: List["RunResult"] = []
+    for sim in sims:
+        entries = sim.observer_entries()
+        check_observer_capabilities(policy, entries)
+        if not entries and not policy.collect_trace:
+            if whole_buffer:
+                results.append(_execute_bare_counted(sim, steps, counts))
+            else:
+                results.append(_execute_bare(sim, islice(iter(steps), budget)))
+        else:
+            results.append(
+                _execute_general(sim, iter(steps), budget, None, policy, entries)
+            )
+    return results

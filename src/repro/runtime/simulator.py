@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..core.schedule import InfiniteSchedule, Schedule
+from ..core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
 from ..errors import SimulationError
 from ..memory.registers import RegisterFile
 from ..types import ProcessId
@@ -43,7 +43,7 @@ from .kernel import (
 )
 
 #: Anything the simulator can consume as a step source.
-ScheduleSource = Union[Schedule, InfiniteSchedule, Iterable[ProcessId]]
+ScheduleSource = Union[Schedule, InfiniteSchedule, CompiledSchedule, Iterable[ProcessId]]
 
 #: Observer signature: (step_index, pid, simulator) -> None, called after the step.
 Observer = Callable[[int, ProcessId, "Simulator"], None]

@@ -15,10 +15,12 @@ infinite schedule, and states up front
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterator, List, Optional
 
-from ..core.schedule import InfiniteSchedule, Schedule
+from ..core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
 from ..errors import ConfigurationError
 from ..runtime.crash import CrashPattern
 from ..types import ProcessId, ProcessSet
@@ -107,6 +109,24 @@ class ScheduleGenerator(ABC):
             pid for pid in self.faulty if self.crash_pattern.is_crashed(pid, length)
         )
         return Schedule(steps=tuple(steps), n=self.n, faulty_hint=already_crashed or None)
+
+    def compile(self, length: int) -> CompiledSchedule:
+        """Compile the first ``length`` steps into a flat replayable buffer.
+
+        The result iterates at C speed (``array('i')``) and carries the
+        generator's crash pattern and description, so replica sweeps can run
+        the generator chain once per scenario instead of once per step.  For
+        any fixed seed the buffer is byte-for-byte the step sequence
+        :meth:`generate` and :meth:`stream` would have produced.
+        """
+        if length < 0:
+            raise ConfigurationError(f"compile length must be non-negative, got {length}")
+        return CompiledSchedule(
+            n=self.n,
+            steps=array("i", islice(self._emit(), length)),
+            crash_steps=self.crash_pattern.crash_steps,
+            description=self.description,
+        )
 
     def infinite(self) -> InfiniteSchedule:
         """Wrap the generator as an :class:`InfiniteSchedule` (memoized steps)."""

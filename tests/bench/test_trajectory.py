@@ -1,0 +1,125 @@
+"""The benchmark trajectory: file round-trips, regression gate, CLI wiring.
+
+The actual measurement suites run in CI (``repro bench --smoke``) and in
+``benchmarks/``; these tests pin the machinery around them — document shape,
+the ratio-based regression check, markdown rendering, and the committed
+baseline files at the repository root — without re-measuring anything slow.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_CAMPAIGN_FILENAME,
+    BENCH_KERNEL_FILENAME,
+    check_regression,
+    load_trajectory,
+    machine_info,
+    performance_markdown,
+)
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def committed_trajectory():
+    return load_trajectory(REPO_ROOT)
+
+
+class TestCommittedBaseline:
+    def test_trajectory_files_are_committed_at_repo_root(self):
+        assert (REPO_ROOT / BENCH_KERNEL_FILENAME).exists()
+        assert (REPO_ROOT / BENCH_CAMPAIGN_FILENAME).exists()
+
+    def test_kernel_document_shape_and_headline_win(self, committed_trajectory):
+        kernel_doc, _ = committed_trajectory
+        assert kernel_doc["suite"] == "kernel"
+        assert {"platform", "python", "cpu_count"} <= set(kernel_doc["machine"])
+        for workload in ("floor", "fresh-ops"):
+            cases = kernel_doc["workloads"][workload]
+            for case in (
+                "instrumented",
+                "fast-stream",
+                "fast-compiled",
+                "fast-stream-bare",
+                "batch-compiled-bare",
+            ):
+                assert cases[case]["ns_per_step"] > 0
+                assert cases[case]["speedup_vs_instrumented"] > 0
+        # The acceptance bar this PR pins: >= 2x for the bare batched loop
+        # over the per-run fast path on the no-observer configuration.
+        assert kernel_doc["headline"]["batched_vs_fast_stream"] >= 2.0
+
+    def test_campaign_document_shape(self, committed_trajectory):
+        _, campaign_doc = committed_trajectory
+        assert campaign_doc["suite"] == "campaign"
+        assert campaign_doc["payloads_identical"] is True
+        for case in campaign_doc["cases"].values():
+            assert case["seconds"] > 0 and case["ns_per_step"] > 0
+        assert campaign_doc["headline"]["batched_vs_stream"] > 1.0
+
+
+class TestRegressionCheck:
+    def test_committed_baseline_passes_against_itself(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        assert check_regression(kernel_doc, campaign_doc, REPO_ROOT) == []
+
+    def test_ratio_regression_beyond_tolerance_fails(self, committed_trajectory, tmp_path):
+        kernel_doc, campaign_doc = committed_trajectory
+        regressed = json.loads(json.dumps(kernel_doc))
+        regressed["headline"]["batched_vs_fast_stream"] = (
+            kernel_doc["headline"]["batched_vs_fast_stream"] * 0.5
+        )
+        failures = check_regression(regressed, campaign_doc, REPO_ROOT)
+        assert len(failures) == 1 and "kernel headline" in failures[0]
+
+    def test_small_wobble_within_tolerance_passes(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        wobbly = json.loads(json.dumps(kernel_doc))
+        wobbly["headline"]["batched_vs_fast_stream"] = (
+            kernel_doc["headline"]["batched_vs_fast_stream"] * 0.9
+        )
+        assert check_regression(wobbly, campaign_doc, REPO_ROOT) == []
+
+    def test_payload_divergence_fails(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        broken = json.loads(json.dumps(campaign_doc))
+        broken["payloads_identical"] = False
+        failures = check_regression(kernel_doc, broken, REPO_ROOT)
+        assert any("payloads differ" in failure for failure in failures)
+
+
+class TestReporting:
+    def test_markdown_tables_render_from_trajectory(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        markdown = performance_markdown(kernel_doc, campaign_doc)
+        assert "| batch-compiled-bare |" in markdown
+        assert "| campaign-batched |" in markdown
+        assert "Headline:" in markdown
+
+    def test_machine_info_is_json_serializable(self):
+        info = machine_info()
+        assert json.dumps(info)
+        assert info["cpu_count"] >= 1
+
+
+class TestCliWiring:
+    def test_bench_subcommand_parses_all_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench", "--smoke", "--out", "somewhere", "--check", "baseline"]
+        )
+        assert args.smoke and args.out == "somewhere" and args.check == "baseline"
+        args = parser.parse_args(["bench", "--check"])
+        assert args.check == "."
+        args = parser.parse_args(["bench"])
+        assert args.check is None and args.out == "."
+
+    def test_bench_markdown_renders_committed_trajectory(self):
+        from repro.cli import run
+
+        lines = run(["bench", "--markdown", "--out", str(REPO_ROOT)])
+        assert "| batch-compiled-bare |" in lines[0]

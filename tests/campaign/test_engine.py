@@ -1,5 +1,7 @@
 """Tests for the campaign engine: dedup, caching, dispatch, record streaming."""
 
+import time
+
 import pytest
 
 from repro.analysis.experiment import detector_campaign_spec, detector_rows
@@ -8,6 +10,7 @@ from repro.campaign import (
     CampaignEngine,
     CampaignSpec,
     ResultCache,
+    compiled_schedules_disabled,
     read_jsonl,
     register_kind,
 )
@@ -109,6 +112,137 @@ class TestRecordStreaming:
         headers, rows = result.table()
         assert "n" in headers and "satisfied" in headers
         assert len(rows) == 3
+
+
+class TestBatchedSchedules:
+    def test_batched_and_streamed_paths_produce_identical_records(self):
+        """Compiled-buffer replicas must be byte-identical to live streams."""
+        spec = _small_spec()
+        with compiled_schedules_disabled():
+            streamed = CampaignEngine(workers=1).run(spec)
+        batched = CampaignEngine(workers=1).run(spec)
+        assert _comparable(streamed.records) == _comparable(batched.records)
+        assert [r.to_json_line().rsplit(',"elapsed"', 1)[0] for r in streamed.records] == [
+            r.to_json_line().rsplit(',"elapsed"', 1)[0] for r in batched.records
+        ]
+
+    def test_same_scenario_replicas_are_grouped_adjacently(self):
+        # Two schedule scenarios, interleaved in grid order; grouping must
+        # reorder dispatch (first-seen order) without touching record order.
+        spec = CampaignSpec(
+            name="interleaved",
+            kind="detector",
+            base={"n": 3, "t": 2, "bound": 3, "horizon": 2_000, "seed": 11,
+                  "p_set": [1], "q_set": [1, 2, 3], "schedule": "set-timely"},
+            runs=[{"k": 1}, {"k": 1, "seed": 13}, {"k": 2}, {"k": 2, "seed": 13}],
+        )
+        pending = [(run.key(), run) for run in spec.expand()]
+        ordered = CampaignEngine._batched_by_schedule(pending)
+        seeds = [run.param_dict()["seed"] for _, run in ordered]
+        assert seeds == [11, 11, 13, 13]
+        result = CampaignEngine(workers=1).run(spec)
+        assert [r.params["k"] for r in result.records] == [1, 1, 2, 2]
+
+
+class TestPersistentPool:
+    def test_compile_toggle_reaches_forked_pool_workers(self):
+        """The disabled-compilation context must govern already-forked workers."""
+        from repro.campaign.runner import _KINDS, compiled_schedules_enabled
+
+        register_kind(
+            "flag-probe-test",
+            lambda params: {"compiled": compiled_schedules_enabled(), "run": params["run"]},
+        )
+        try:
+            def probe_spec(tag):
+                return CampaignSpec(
+                    name=f"probe-{tag}", kind="flag-probe-test",
+                    base={"tag": tag}, axes={"run": [1, 2]},
+                )
+
+            with CampaignEngine(workers=2, chunk_size=1) as engine:
+                warm = engine.run(probe_spec("warm"))  # forks the pool, flag on
+                assert [r.payload["compiled"] for r in warm.records] == [True, True]
+                with compiled_schedules_disabled():
+                    cold = engine.run(probe_spec("cold"))
+                assert [r.payload["compiled"] for r in cold.records] == [False, False]
+                again = engine.run(probe_spec("again"))  # flag restored
+                assert [r.payload["compiled"] for r in again.records] == [True, True]
+        finally:
+            _KINDS.pop("flag-probe-test", None)
+
+    def test_pool_survives_across_run_invocations(self):
+        with CampaignEngine(workers=2) as engine:
+            first = engine.run(_small_spec())
+            pool = engine._pool
+            assert pool is not None
+            second = engine.run(_small_spec(seed=13))
+            assert engine._pool is pool
+        assert engine._pool is None  # context exit closed it
+        assert len(first.records) == len(second.records) == 3
+
+    def test_close_is_idempotent_and_inline_engines_have_no_pool(self):
+        engine = CampaignEngine(workers=1)
+        engine.run(_small_spec())
+        assert engine._pool is None
+        engine.close()
+        engine.close()
+
+
+class TestHonestTiming:
+    def test_per_run_elapsed_is_measured_worker_side(self):
+        """Regression: chunk timing once included all previous chunks' wall time.
+
+        Each run sleeps a fixed delay.  With parent-side cumulative timing the
+        later chunks' per-run elapsed grew with every chunk already dispatched
+        (~N×delay for the last one); worker-side timing pins each run's
+        elapsed near the delay itself, independent of chunk position.
+        """
+        delay = 0.1
+
+        def sleepy(params):
+            time.sleep(params["delay"])
+            return {"slept": params["delay"], "run": params["run"]}
+
+        register_kind("sleep-test", sleepy)
+        try:
+            spec = CampaignSpec(
+                name="sleepy",
+                kind="sleep-test",
+                base={"delay": delay},
+                axes={"run": [1, 2, 3, 4, 5, 6]},
+            )
+            with CampaignEngine(workers=2, chunk_size=1) as engine:
+                result = engine.run(spec)
+            elapsed = [record.elapsed for record in result.records]
+            assert all(e >= delay * 0.9 for e in elapsed), elapsed
+            # The old cumulative bug put the last chunks at ~3x the delay
+            # (six chunks over two workers); worker-side timing stays tight.
+            assert max(elapsed) < delay * 2, elapsed
+        finally:
+            from repro.campaign.runner import _KINDS
+
+            _KINDS.pop("sleep-test", None)
+
+    def test_inline_elapsed_is_per_run(self):
+        delay = 0.05
+
+        def sleepy(params):
+            time.sleep(delay)
+            return {"ok": True, "run": params["run"]}
+
+        register_kind("sleep-inline-test", sleepy)
+        try:
+            spec = CampaignSpec(
+                name="sleepy-inline", kind="sleep-inline-test", axes={"run": [1, 2, 3]}
+            )
+            result = CampaignEngine(workers=1).run(spec)
+            for record in result.records:
+                assert delay * 0.9 <= record.elapsed < delay * 2
+        finally:
+            from repro.campaign.runner import _KINDS
+
+            _KINDS.pop("sleep-inline-test", None)
 
 
 class TestCustomKinds:

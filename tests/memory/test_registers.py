@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RegisterError
+from repro.errors import ConfigurationError, RegisterError
 from repro.memory.registers import Register, RegisterFile
 
 
@@ -46,6 +46,19 @@ class TestRegisterFile:
         assert registers.read(("Heartbeat", 2)) == 0
         with pytest.raises(RegisterError):
             registers.write(("Heartbeat", 2), 5, writer=3)
+
+    def test_declare_array_owner_from_index_rejects_non_int_indices(self):
+        # A non-integer index cannot name an owning process: minting an
+        # unowned register here would silently drop single-writer checks.
+        registers = RegisterFile()
+        with pytest.raises(ConfigurationError, match="integer process-id"):
+            registers.declare_array("Counter", (1, ("A", 2)), initial=0, owner_from_index=True)
+        with pytest.raises(ConfigurationError, match="integer process-id"):
+            registers.declare_array("Flag", (True,), initial=0, owner_from_index=True)
+        # Without owner_from_index the same indices are fine (and unowned).
+        registers.declare_array("Counter", (1, ("A", 2)), initial=0)
+        registers.write(("Counter", ("A", 2)), 5, writer=3)
+        assert registers.read(("Counter", ("A", 2))) == 5
 
     def test_redeclare_resets_value(self):
         registers = RegisterFile()

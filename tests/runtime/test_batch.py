@@ -1,0 +1,241 @@
+"""Batched replica execution: the equivalence contract with the per-run path.
+
+The headline test is the seeded randomized sweep: 50+ random
+(scenario family, algorithm, n, seed) combinations, each executed through
+today's per-run fast path (one live generator stream per replica) and through
+:func:`~repro.runtime.kernel.execute_batch` over one shared compiled buffer,
+with outputs, step counts (total and per process), halted sets and register
+operation counts asserted identical.  That contract is what lets the campaign
+layer batch replicas freely.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
+from repro.errors import SimulationError
+from repro.runtime.automaton import FunctionAutomaton, ReadOp, WriteOp
+from repro.runtime.kernel import FAST_TRACED, INSTRUMENTED, execute_batch
+from repro.runtime.observers import OutputTracker
+from repro.runtime.simulator import build_simulator
+from repro.scenarios.spec import build_generator
+
+
+# ----------------------------------------------------------------------
+# Algorithms for the sweep: three distinct step/publish/halt profiles
+# ----------------------------------------------------------------------
+
+def _token_program(automaton, ctx):
+    """Reads, writes and publishes forever — the steady-state profile."""
+    total = 0
+    while True:
+        value = yield ReadOp(("token",))
+        current = value or 0
+        yield WriteOp(("token",), current + 1)
+        total += current
+        if total % 3 == 0:
+            automaton.publish("total", total)
+
+
+def _halting_program(automaton, ctx):
+    """Publishes then returns after five rounds — exercises the halt path."""
+    for round_index in range(5):
+        value = yield ReadOp(("token",))
+        automaton.publish("last", value)
+        yield WriteOp(("scratch", automaton.pid), round_index)
+    return "done"
+
+
+def _owned_counter_program(automaton, ctx):
+    """Single-writer per-process registers with cross-process reads."""
+    ops = [ReadOp(("count", peer)) for peer in range(1, automaton.n + 1)]
+    mine = ("count", automaton.pid)
+    value = 0
+    while True:
+        total = 0
+        for op in ops:
+            observed = yield op
+            total += observed or 0
+        value += 1
+        yield WriteOp(mine, value)
+        automaton.publish("seen", total)
+
+
+ALGORITHMS = {
+    "token": _token_program,
+    "halting": _halting_program,
+    "owned-counter": _owned_counter_program,
+}
+
+
+def _fresh(n, program, tracked=False):
+    simulator = build_simulator(n, lambda pid: FunctionAutomaton(pid, n, program))
+    if program is _owned_counter_program:
+        simulator.registers.declare_array(
+            "count", tuple(range(1, n + 1)), initial=0, owner_from_index=True
+        )
+    tracker = None
+    if tracked:
+        tracker = OutputTracker(
+            key={"token": "total", "halting": "last", "owned-counter": "seen"}[
+                [k for k, v in ALGORITHMS.items() if v is program][0]
+            ]
+        )
+        simulator.add_observer(tracker)
+    return simulator, tracker
+
+
+def _random_combination(rng):
+    """One random (family params, n, horizon) combination for the sweep."""
+    n = rng.randint(2, 6)
+    family = rng.choice(
+        ["round-robin", "random", "set-timely", "eventually-synchronous",
+         "carrier-rotation", "crash-churn", "alternating-epochs", "spliced-adversary"]
+    )
+    seed = rng.randint(0, 10_000)
+    params = {"schedule": family, "n": n, "seed": seed}
+    crashed = rng.sample(range(1, n + 1), rng.randint(0, max(n - 2, 0)))
+    if family == "set-timely":
+        correct = sorted(set(range(1, n + 1)) - set(crashed))
+        p_size = rng.randint(1, max(len(correct) - 1, 1))
+        params["p_set"] = correct[:p_size]
+        params["q_set"] = list(range(1, n + 1))
+        params["bound"] = rng.randint(2, 4)
+    elif family in ("carrier-rotation", "spliced-adversary"):
+        correct = sorted(set(range(1, n + 1)) - set(crashed))
+        params["carriers"] = correct[: rng.randint(1, len(correct))]
+    elif family == "crash-churn":
+        params["period"] = rng.randint(8, 64)
+        params["outage"] = rng.randint(0, params["period"])
+        params["churn"] = rng.randint(0, 2)
+    elif family == "alternating-epochs":
+        params["sync_epoch"] = rng.randint(4, 32)
+        params["async_epoch"] = rng.randint(4, 32)
+        params["epoch_growth"] = rng.choice([0, 0, 3])
+    params["crashes"] = crashed
+    horizon = rng.randint(50, 400)
+    return params, horizon
+
+
+def _observable_state(simulator, result, n):
+    return (
+        result.outputs,
+        result.steps_executed,
+        result.stopped_early,
+        result.halted_processes,
+        simulator.registers.total_reads(),
+        simulator.registers.total_writes(),
+        [simulator.steps_taken(pid) for pid in range(1, n + 1)],
+    )
+
+
+class TestRandomizedBatchEquivalence:
+    def test_fifty_random_combinations_agree_with_per_run_path(self):
+        rng = random.Random(20260730)
+        combos = 0
+        while combos < 54:
+            params, horizon = _random_combination(rng)
+            algorithm = rng.choice(sorted(ALGORITHMS))
+            program = ALGORITHMS[algorithm]
+            generator = build_generator(params)
+            n = generator.n
+            compiled = build_generator(params).compile(horizon)
+            replicas = 3
+            per_run = []
+            for _ in range(replicas):
+                simulator, _ = _fresh(n, program)
+                result = simulator.run_fast(
+                    build_generator(params).stream(), max_steps=horizon
+                )
+                per_run.append(_observable_state(simulator, result, n))
+            batch_sims = [_fresh(n, program)[0] for _ in range(replicas)]
+            batch_results = execute_batch(batch_sims, compiled)
+            batched = [
+                _observable_state(simulator, result, n)
+                for simulator, result in zip(batch_sims, batch_results)
+            ]
+            context = f"combo {combos}: {algorithm} on {params!r} horizon={horizon}"
+            assert batched == per_run, context
+            combos += 1
+
+    def test_batch_with_trackers_matches_per_run_tracker_changes(self):
+        rng = random.Random(13579)
+        for _ in range(10):
+            params, horizon = _random_combination(rng)
+            algorithm = rng.choice(sorted(ALGORITHMS))
+            program = ALGORITHMS[algorithm]
+            n = build_generator(params).n
+            compiled = build_generator(params).compile(horizon)
+            solo_sim, solo_tracker = _fresh(n, program, tracked=True)
+            solo = solo_sim.run_fast(build_generator(params).stream(), max_steps=horizon)
+            batch_sim, batch_tracker = _fresh(n, program, tracked=True)
+            [batched] = execute_batch([batch_sim], compiled)
+            assert batched.outputs == solo.outputs
+            assert batch_tracker.changes == solo_tracker.changes
+            assert _observable_state(batch_sim, batched, n) == _observable_state(
+                solo_sim, solo, n
+            )
+
+
+class TestExecuteBatchSources:
+    def _sims(self, count, n=2, program=_token_program):
+        return [_fresh(n, program)[0] for _ in range(count)]
+
+    def test_empty_batch_is_a_noop(self):
+        assert execute_batch([], CompiledSchedule(n=2, steps=[1, 2])) == []
+
+    def test_mismatched_universes_rejected(self):
+        sims = [self._sims(1, n=2)[0], self._sims(1, n=3)[0]]
+        with pytest.raises(SimulationError, match="one Πn"):
+            execute_batch(sims, CompiledSchedule(n=2, steps=[1, 2]))
+
+    def test_compiled_schedule_over_wrong_universe_rejected(self):
+        # Same contract as execute(): a buffer compiled for Π3 cannot drive
+        # Π2 replicas, even if its steps happen to stay within range.
+        with pytest.raises(SimulationError, match="Π3"):
+            execute_batch(self._sims(2, n=2), CompiledSchedule(n=3, steps=[1, 2]))
+
+    def test_finite_schedule_source_is_shared_across_replicas(self):
+        schedule = Schedule(steps=(1, 2, 1, 2, 1), n=2)
+        sims = self._sims(3)
+        results = execute_batch(sims, schedule)
+        assert [r.steps_executed for r in results] == [5, 5, 5]
+        assert all(r.outputs == results[0].outputs for r in results)
+
+    def test_one_shot_iterable_is_materialized_once_for_all_replicas(self):
+        sims = self._sims(3)
+        results = execute_batch(sims, iter([1, 2, 1, 1, 2, 2]))
+        assert [r.steps_executed for r in results] == [6, 6, 6]
+        assert [sim.steps_taken(1) for sim in sims] == [3, 3, 3]
+
+    def test_infinite_schedule_requires_max_steps(self):
+        infinite = InfiniteSchedule(n=2, step_fn=lambda index: 1 + index % 2)
+        with pytest.raises(SimulationError, match="max_steps"):
+            execute_batch(self._sims(2), infinite)
+        results = execute_batch(self._sims(2), infinite, max_steps=10)
+        assert [r.steps_executed for r in results] == [10, 10]
+
+    def test_max_steps_caps_compiled_buffer(self):
+        compiled = CompiledSchedule(n=2, steps=[1, 2] * 10)
+        results = execute_batch(self._sims(2), compiled, max_steps=7)
+        assert [r.steps_executed for r in results] == [7, 7]
+
+    def test_non_positive_max_steps_rejected(self):
+        with pytest.raises(SimulationError, match="positive step budget"):
+            execute_batch(self._sims(1), CompiledSchedule(n=2, steps=[1, 2]), max_steps=0)
+
+    def test_instrumented_policy_collects_traces_per_replica(self):
+        compiled = CompiledSchedule(n=2, steps=[1, 2, 1])
+        sims = self._sims(2)
+        results = execute_batch(sims, compiled, policy=INSTRUMENTED)
+        for sim, result in zip(sims, results):
+            assert result.executed_schedule.steps == (1, 2, 1)
+            assert sim.trace().steps == (1, 2, 1)
+
+    def test_traced_policy_with_tracker_rides_the_general_loop(self):
+        compiled = CompiledSchedule(n=2, steps=[1, 2] * 20)
+        simulator, tracker = _fresh(2, _token_program, tracked=True)
+        [result] = execute_batch([simulator], compiled, policy=FAST_TRACED)
+        assert result.executed_schedule.steps == (1, 2) * 20
+        assert tracker.changes  # publications were sampled

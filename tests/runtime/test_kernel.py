@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import RegisterError, SimulationError
 from repro.memory.registers import RegisterFile
 from repro.runtime.automaton import FunctionAutomaton, ReadOp, WriteOp
 from repro.runtime.kernel import (
@@ -22,6 +22,7 @@ from repro.runtime.kernel import (
     INSTRUMENTED,
     ON_PUBLISH,
     ExecutionPolicy,
+    execute_batch,
     trace_sampling,
 )
 from repro.runtime.observers import OutputTracker
@@ -127,6 +128,115 @@ class TestObserverCapabilities:
         simulator, _ = _fresh(1)
         with pytest.raises(SimulationError, match="unknown observer capability"):
             simulator.add_observer(lambda step, pid, sim: None, capability="weekly")
+
+
+# ----------------------------------------------------------------------
+# Hot-loop register paths: lazy creation and single-writer enforcement
+# ----------------------------------------------------------------------
+
+#: Every execution-loop flavour the kernel can select.  ``fast`` without
+#: observers routes to the bare loop, so the same policy is exercised twice:
+#: with a tracker attached (general loop) and without (bare loop).
+ALL_POLICIES = {
+    "instrumented": INSTRUMENTED,
+    "fast": FAST,
+    "fast+trace": FAST_TRACED,
+}
+
+
+def _undeclared_toucher(automaton, ctx):
+    """First touch of two undeclared registers happens inside the hot loop."""
+    value = yield ReadOp(("ghost", automaton.pid))
+    yield WriteOp(("phantom", automaton.pid), (value, "written"))
+    automaton.publish("saw", value)
+    while True:
+        yield ReadOp(("ghost", automaton.pid))
+
+
+class TestFastOpsMissPath:
+    @pytest.mark.parametrize("policy_name", sorted(ALL_POLICIES))
+    @pytest.mark.parametrize("tracked", [True, False], ids=["tracked", "bare"])
+    def test_first_touch_of_undeclared_register_inside_execute(self, policy_name, tracked):
+        policy = ALL_POLICIES[policy_name]
+        simulator = build_simulator(
+            2, lambda pid: FunctionAutomaton(pid, 2, _undeclared_toucher)
+        )
+        if tracked:
+            simulator.add_observer(OutputTracker(key="saw"))
+        registers = simulator.registers
+        assert not registers.exists(("ghost", 1))
+        simulator.run_with_policy(Schedule(steps=(1, 1, 2, 2, 1), n=2), policy)
+        # The registers sprang into existence inside the loop, unowned and
+        # with the undeclared default of None, and every access was counted.
+        assert registers.exists(("ghost", 1)) and registers.exists(("phantom", 1))
+        assert registers.resolve(("ghost", 1)).writer is None
+        assert registers.resolve(("ghost", 1)).read_count == 2
+        assert registers.resolve(("phantom", 1)).write_count == 1
+        assert registers.peek(("phantom", 1)) == (None, "written")
+        assert simulator.output_of(1, "saw") is None
+        assert registers.resolve(("ghost", 2)).read_count == 1
+
+    @pytest.mark.parametrize("policy_name", sorted(ALL_POLICIES))
+    def test_declared_initial_value_served_through_hot_loop(self, policy_name):
+        policy = ALL_POLICIES[policy_name]
+
+        def reader(automaton, ctx):
+            value = yield ReadOp(("seeded",))
+            automaton.publish("got", value)
+            while True:
+                yield ReadOp(("seeded",))
+
+        simulator = build_simulator(1, lambda pid: FunctionAutomaton(pid, 1, reader))
+        registers = simulator.registers
+        registers.declare(("seeded",), initial=41)
+        simulator.run_with_policy(Schedule(steps=(1, 1), n=1), policy)
+        assert simulator.output_of(1, "got") == 41
+        assert registers.resolve(("seeded",)).read_count == 2
+
+
+def _owned_writer(automaton, ctx):
+    """Every process writes the register owned by process 1."""
+    count = 0
+    while True:
+        count += 1
+        yield WriteOp(("owned", 1), (automaton.pid, count))
+
+
+class TestSingleWriterViolationInHotLoop:
+    def _violating_simulator(self, tracked):
+        simulator = build_simulator(
+            2, lambda pid: FunctionAutomaton(pid, 2, _owned_writer)
+        )
+        simulator.registers.declare(("owned", 1), initial=0, writer=1)
+        if tracked:
+            simulator.add_observer(OutputTracker(key="never"))
+        return simulator
+
+    @pytest.mark.parametrize("policy_name", sorted(ALL_POLICIES))
+    @pytest.mark.parametrize("tracked", [True, False], ids=["tracked", "bare"])
+    def test_violation_raises_canonical_error_mid_run(self, policy_name, tracked):
+        policy = ALL_POLICIES[policy_name]
+        simulator = self._violating_simulator(tracked)
+        schedule = Schedule(steps=(1, 1, 2, 1), n=2)
+        with pytest.raises(RegisterError, match="owned by process 1"):
+            simulator.run_with_policy(schedule, policy)
+        # Exact partial accounting: the two completed steps count, the
+        # violating third step does not, and its write never landed.
+        assert simulator.step_index == 2
+        assert simulator.steps_taken(1) == 2 and simulator.steps_taken(2) == 0
+        assert simulator.registers.peek(("owned", 1)) == (1, 2)
+        assert simulator.registers.resolve(("owned", 1)).write_count == 2
+
+    def test_violation_in_batched_full_buffer_loop(self):
+        from repro.core.schedule import CompiledSchedule
+
+        compiled = CompiledSchedule(n=2, steps=[1, 1, 2, 1])
+        healthy = self._violating_simulator(tracked=False)
+        with pytest.raises(RegisterError, match="owned by process 1"):
+            execute_batch([healthy], compiled)
+        assert healthy.step_index == 2
+        assert healthy.steps_taken(1) == 2 and healthy.steps_taken(2) == 0
+        assert healthy.registers.peek(("owned", 1)) == (1, 2)
 
 
 # ----------------------------------------------------------------------
