@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Optional
 
-from ..runtime.automaton import Program, ReadOp, WriteOp
+from ..runtime.automaton import Operation, Program, ReadOp, WriteOp
 from ..types import ProcessId
 from .adopt_commit import AdoptCommit, Grade
 
@@ -46,11 +46,27 @@ class LeaderGatedConsensus:
 
     Registers: a decision register ``(name, "decision")`` plus the registers of
     one :class:`AdoptCommit` object per round (``(name, round, "A"/"B", p)``).
+
+    The decision-register poll is the instance's hot operation — a gated-out
+    process spends every one of its steps on it — so the read op is hoisted
+    and reused across polls, and :meth:`prebind` upgrades it to a slot-bound
+    op for allocation- and hash-free dispatch.  The per-round adopt-commit
+    registers are fresh names per round and stay name-addressed.
     """
 
     def __init__(self, name: Hashable, n: int) -> None:
         self.name = name
         self.n = n
+        self._decision_read: Operation = ReadOp(self._decision_register())
+
+    # ------------------------------------------------------------------
+    def prebind(self, registers: Any) -> None:
+        """Bind the hoisted decision-register read to its arena slot."""
+        self._decision_read = ReadOp(self._decision_register()).bind(registers)
+
+    def unbind(self) -> None:
+        """Restore the name-addressed decision read (inverse of :meth:`prebind`)."""
+        self._decision_read = ReadOp(self._decision_register())
 
     # ------------------------------------------------------------------
     def _decision_register(self) -> Hashable:
@@ -69,8 +85,9 @@ class LeaderGatedConsensus:
         """
         estimate = value
         round_number = 0
+        decision_read = self._decision_read
         while True:
-            decision = yield ReadOp(self._decision_register())
+            decision = yield decision_read
             if decision is not None:
                 return decision
             if leader_query() != pid:
@@ -85,5 +102,5 @@ class LeaderGatedConsensus:
 
     def read_decision(self, pid: ProcessId) -> Program:
         """One-step poll of the decision register (``None`` when undecided)."""
-        decision = yield ReadOp(self._decision_register())
+        decision = yield self._decision_read
         return decision

@@ -87,7 +87,22 @@ class KSetFromAntiOmegaAutomaton(ProcessAutomaton):
         self.input_value = input_value
         self.detector = detector
         self.instance_namespace = instance_namespace
+        # One consensus instance per winner-set slot, shared by every program
+        # incarnation; prebind() forwards slot binding to each instance's
+        # hoisted decision-register poll (the protocol's hottest operation).
+        self._instances = [
+            LeaderGatedConsensus(name=(instance_namespace, slot), n=n)
+            for slot in range(k)
+        ]
         self.publish(DECISION, None)
+
+    def prebind(self, registers: Any) -> None:
+        for instance in self._instances:
+            instance.prebind(registers)
+
+    def unbind(self) -> None:
+        for instance in self._instances:
+            instance.unbind()
 
     # ------------------------------------------------------------------
     def _leader_query(self, slot: int):
@@ -108,10 +123,7 @@ class KSetFromAntiOmegaAutomaton(ProcessAutomaton):
 
     # ------------------------------------------------------------------
     def program(self, ctx: ProcessContext) -> Program:
-        instances = [
-            LeaderGatedConsensus(name=(self.instance_namespace, slot), n=self.n)
-            for slot in range(self.k)
-        ]
+        instances = self._instances
         routines: List[Tuple[int, Program]] = [
             (slot, instance.propose(self.pid, self.input_value, self._leader_query(slot)))
             for slot, instance in enumerate(instances)

@@ -16,10 +16,17 @@ decides the value of the smallest-id publisher it has seen.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 from ..errors import ConfigurationError
-from ..runtime.automaton import ProcessAutomaton, ProcessContext, Program, ReadOp, WriteOp
+from ..runtime.automaton import (
+    Operation,
+    ProcessAutomaton,
+    ProcessContext,
+    Program,
+    ReadOp,
+    WriteOp,
+)
 from ..types import ProcessId
 from .kset import DECISION
 
@@ -41,20 +48,47 @@ class TrivialKSetAgreementAutomaton(ProcessAutomaton):
         self.t = t
         self.k = k
         self.input_value = input_value
+        # The collect loop re-reads the same t + 1 registers until a value
+        # shows up, so the read table is preallocated; prebind() upgrades it
+        # (and the one-shot publish write) to slot-bound ops, unbind()
+        # restores the name-addressed templates.
+        self._publishers = list(range(1, t + 2))
+        self._collect_reads: List[Operation] = []
+        self._publish_write: Operation = WriteOp(("trivial-input", pid), input_value)
+        self.unbind()
         self.publish(DECISION, None)
+
+    def prebind(self, registers: Any) -> None:
+        self._collect_reads = [
+            ReadOp(("trivial-input", publisher)).bind(registers)
+            for publisher in self._publishers
+        ]
+        # Only publishers ever yield the publish write; binding it for other
+        # pids would intern ('trivial-input', pid) registers the unbound path
+        # never creates, diverging the two paths' register namespaces.
+        if self.pid in self._publishers:
+            self._publish_write = WriteOp(
+                ("trivial-input", self.pid), self.input_value
+            ).bind(registers)
+
+    def unbind(self) -> None:
+        self._collect_reads = [
+            ReadOp(("trivial-input", publisher)) for publisher in self._publishers
+        ]
+        self._publish_write = WriteOp(("trivial-input", self.pid), self.input_value)
 
     def decision(self) -> Any:
         """The decided value (``None`` until the process decides)."""
         return self.output(DECISION)
 
     def program(self, ctx: ProcessContext) -> Program:
-        publishers = list(range(1, self.t + 2))
-        if self.pid in publishers:
-            yield WriteOp(("trivial-input", self.pid), self.input_value)
+        collect_reads = self._collect_reads
+        if self.pid in self._publishers:
+            yield self._publish_write
         while True:
             seen: Optional[Any] = None
-            for publisher in publishers:
-                value = yield ReadOp(("trivial-input", publisher))
+            for read_op in collect_reads:
+                value = yield read_op
                 if value is not None and seen is None:
                     seen = value
             if seen is not None:

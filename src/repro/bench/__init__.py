@@ -15,6 +15,7 @@ which is what the CI regression check compares (see :func:`check_regression`).
 from .trajectory import (
     BENCH_CAMPAIGN_FILENAME,
     BENCH_KERNEL_FILENAME,
+    WORKLOADS,
     bench_campaign,
     bench_kernel,
     check_regression,
@@ -28,6 +29,7 @@ from .trajectory import (
 __all__ = [
     "BENCH_CAMPAIGN_FILENAME",
     "BENCH_KERNEL_FILENAME",
+    "WORKLOADS",
     "bench_campaign",
     "bench_kernel",
     "check_regression",

@@ -38,6 +38,7 @@ from .runner import (
     compiled_schedule_for,
     compiled_schedules_disabled,
     execute_spec,
+    prebinding_disabled,
     register_kind,
     schedule_signature,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "build_generator",
     "compiled_schedule_for",
     "compiled_schedules_disabled",
+    "prebinding_disabled",
     "schedule_signature",
     "CampaignEngine",
     "CampaignResult",

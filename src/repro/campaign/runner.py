@@ -24,6 +24,16 @@ Built-in kinds:
 Schedule families are part of the run parameters (``schedule`` selects the
 generator; the remaining schedule parameters configure it), so a campaign can
 sweep schedule families exactly like it sweeps numeric axes.
+
+Simulator-backed kinds get two layers of hot-loop acceleration for free: the
+compiled-schedule memo below (one generator-chain materialization per
+scenario, flat-buffer replays per replica) and operation pre-binding (the
+simulators they build invoke every automaton's
+:meth:`~repro.runtime.automaton.ProcessAutomaton.prebind` hook, so detector
+and agreement steps dispatch slot-bound ops against the register arena).
+Each layer has an A/B switch for benchmarks and equivalence tests:
+:func:`compiled_schedules_disabled` here, and the re-exported
+:func:`~repro.runtime.simulator.prebinding_disabled` for the binding layer.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..core.schedule import CompiledSchedule
 from ..errors import ConfigurationError
+from ..runtime.simulator import prebinding_disabled
 from ..failure_detectors.anti_omega import (
     constant_timeout_policy,
     doubling_timeout_policy,
@@ -103,6 +114,7 @@ __all__ = [
     "schedule_signature",
     "compiled_schedule_for",
     "compiled_schedules_disabled",
+    "prebinding_disabled",
 ]
 
 

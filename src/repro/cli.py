@@ -205,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the EXPERIMENTS.md performance tables instead of a summary "
         "(re-renders the committed trajectory in --out without re-measuring)",
     )
+    bench.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="re-measure only this kernel workload (repeatable; e.g. floor, "
+        "fresh-ops, bound-ops). Skips the campaign suite and writes no "
+        "trajectory files — an interactive filter, not a baseline refresh",
+    )
 
     return parser
 
@@ -428,6 +437,7 @@ def _run_campaign_with_engine(args: argparse.Namespace, engine: CampaignEngine) 
 
 def _run_bench(args: argparse.Namespace) -> List[str]:
     from .bench import (
+        bench_kernel,
         compare_trajectories,
         load_trajectory,
         performance_markdown,
@@ -435,8 +445,37 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
     )
 
     if args.markdown:
+        if args.workload:
+            raise SystemExit("--workload re-measures; it cannot render --markdown")
         kernel_doc, campaign_doc = load_trajectory(args.out)
         return [performance_markdown(kernel_doc, campaign_doc)]
+
+    if args.workload:
+        # Single-workload re-measurement: kernel suite only, nothing written —
+        # the committed baseline stays a full-suite artifact.
+        if args.check is not None:
+            raise SystemExit(
+                "--workload measures a partial suite; run a full `repro bench "
+                "--check` for the regression gate"
+            )
+        kernel_doc = bench_kernel(smoke=args.smoke, workloads=args.workload)
+        lines = [
+            f"kernel workload re-measurement ({'smoke' if args.smoke else 'full'} mode):"
+        ]
+        for name, cases in kernel_doc["workloads"].items():
+            lines.append(f"  workload {name}:")
+            for case_name, case in cases.items():
+                if case_name == "headline":
+                    continue
+                lines.append(
+                    f"    {case_name:<22} {case['ns_per_step']:>8} ns/step "
+                    f"({case['speedup_vs_instrumented']}x vs. instrumented)"
+                )
+            lines.append(
+                f"    headline (batched vs. per-run fast): "
+                f"{cases['headline']['batched_vs_fast_stream']}x"
+            )
+        return lines
 
     # Load the baseline before measuring: with --out and --check both
     # pointing at the repo root, writing first would overwrite the committed
@@ -446,11 +485,13 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
     lines = [
         f"benchmark trajectory ({'smoke' if args.smoke else 'full'} mode):",
         *(f"  wrote {path}" for path in paths),
-        f"  kernel headline   (bare batched vs. per-run fast): "
+        f"  kernel headline   (floor: bare batched vs. per-run fast):     "
         f"{kernel_doc['headline']['batched_vs_fast_stream']}x",
-        f"  campaign headline (batched vs. streamed engine):   "
+        f"  kernel headline   (fresh-ops: bare batched vs. per-run fast): "
+        f"{kernel_doc['headline']['fresh_ops_batched_vs_fast_stream']}x",
+        f"  campaign headline (batched vs. streamed engine):              "
         f"{campaign_doc['headline']['batched_vs_stream']}x",
-        f"  campaign payloads identical across paths:          "
+        f"  campaign payloads identical across paths:                     "
         f"{campaign_doc['payloads_identical']}",
     ]
     if baseline is not None:

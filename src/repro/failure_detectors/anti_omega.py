@@ -31,7 +31,14 @@ from itertools import combinations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..runtime.automaton import ProcessContext, Program, ReadOp, WriteOp
+from ..runtime.automaton import (
+    BoundWriteOp,
+    Operation,
+    ProcessContext,
+    Program,
+    ReadOp,
+    WriteOp,
+)
 from ..types import ProcessId
 from .base import FD_OUTPUT, ITERATION, LEADER, WINNER_SET, FailureDetectorAutomaton
 
@@ -136,6 +143,58 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
         self.accusation_statistic = accusation_statistic
         self.timeout_policy = timeout_policy
         self.ksets = k_subsets(n, k)
+        # Operations are immutable, so every iteration's read operations (and
+        # the register names of the writes) are built once per automaton — one
+        # allocation up front instead of one per executed step.  prebind()
+        # swaps these name-addressed tables for slot-bound ones; unbind()
+        # rebuilds the name-addressed templates.
+        self._processes = list(range(1, n + 1))
+        self._heartbeat_register = ("Heartbeat", pid)
+        self._counter_registers: Dict[KSet, Tuple[str, KSet, ProcessId]] = {
+            a_set: ("Counter", a_set, pid) for a_set in self.ksets
+        }
+        self._counter_reads: List[Tuple[KSet, List[Tuple[ProcessId, Operation]]]] = []
+        self._heartbeat_reads: List[Tuple[ProcessId, Operation]] = []
+        self._heartbeat_write: Optional[BoundWriteOp] = None
+        self._counter_writes: Optional[Dict[KSet, BoundWriteOp]] = None
+        self.unbind()
+
+    # ------------------------------------------------------------------
+    def prebind(self, registers: Any) -> None:
+        """Swap the preallocated op tables for slot-bound ones.
+
+        Reads become :class:`~repro.runtime.automaton.BoundReadOp` tables;
+        the heartbeat and per-k-set counter writes become reusable
+        :class:`~repro.runtime.automaton.BoundWriteOp` cells whose ``value``
+        the program refreshes before each yield, so steady-state iterations
+        allocate nothing and dispatch with no name hashing.  Tables are
+        rebuilt from the unbound templates on every call, so rebinding to a
+        fresh register file is safe (for generators created afterwards).
+        """
+        processes = self._processes
+        self._counter_reads = [
+            (a_set, [(q, ReadOp(("Counter", a_set, q)).bind(registers)) for q in processes])
+            for a_set in self.ksets
+        ]
+        self._heartbeat_reads = [
+            (q, ReadOp(("Heartbeat", q)).bind(registers)) for q in processes
+        ]
+        self._heartbeat_write = WriteOp(self._heartbeat_register, 0).bind(registers)
+        self._counter_writes = {
+            a_set: WriteOp(name, 0).bind(registers)
+            for a_set, name in self._counter_registers.items()
+        }
+
+    def unbind(self) -> None:
+        """Restore the name-addressed op tables (the inverse of :meth:`prebind`)."""
+        processes = self._processes
+        self._counter_reads = [
+            (a_set, [(q, ReadOp(("Counter", a_set, q))) for q in processes])
+            for a_set in self.ksets
+        ]
+        self._heartbeat_reads = [(q, ReadOp(("Heartbeat", q))) for q in processes]
+        self._heartbeat_write = None
+        self._counter_writes = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -160,19 +219,13 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
         processes = list(range(1, n + 1))
         accusation_statistic = self.accusation_statistic
         timeout_policy = self.timeout_policy
-        # Operations are immutable, so the read operations of every iteration
-        # (and the register names of the writes) are built once up front — one
-        # allocation per automaton instead of one per executed step.
-        counter_reads: List[Tuple[KSet, List[Tuple[ProcessId, ReadOp]]]] = [
-            (a_set, [(q, ReadOp(("Counter", a_set, q))) for q in processes]) for a_set in ksets
-        ]
-        heartbeat_reads: List[Tuple[ProcessId, ReadOp]] = [
-            (q, ReadOp(("Heartbeat", q))) for q in processes
-        ]
-        my_heartbeat_register = ("Heartbeat", p)
-        counter_registers: Dict[KSet, Tuple[str, KSet, ProcessId]] = {
-            a_set: ("Counter", a_set, p) for a_set in ksets
-        }
+        # The preallocated (possibly slot-bound, see prebind) op tables.
+        counter_reads = self._counter_reads
+        heartbeat_reads = self._heartbeat_reads
+        my_heartbeat_register = self._heartbeat_register
+        counter_registers = self._counter_registers
+        heartbeat_write = self._heartbeat_write
+        counter_writes = self._counter_writes
         # Which timers a fresh heartbeat from q resets (line 12's `q in A`).
         ksets_containing: Dict[ProcessId, List[KSet]] = {
             q: [a_set for a_set in ksets if q in a_set] for q in processes
@@ -211,7 +264,11 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
 
             # Lines 6-7: bump the heartbeat.
             my_hb += 1
-            yield WriteOp(my_heartbeat_register, my_hb)
+            if heartbeat_write is not None:
+                heartbeat_write.value = my_hb
+                yield heartbeat_write
+            else:
+                yield WriteOp(my_heartbeat_register, my_hb)
 
             # Lines 8-13: check other processes' heartbeats, reset timers.
             for q, read_op in heartbeat_reads:
@@ -228,7 +285,12 @@ class KAntiOmegaAutomaton(FailureDetectorAutomaton):
                 if timer[a_set] == 0:
                     timeout[a_set] = timeout_policy(timeout[a_set])
                     timer[a_set] = timeout[a_set]
-                    yield WriteOp(counter_registers[a_set], cnt[a_set][my_index] + 1)
+                    if counter_writes is not None:
+                        counter_write = counter_writes[a_set]
+                        counter_write.value = cnt[a_set][my_index] + 1
+                        yield counter_write
+                    else:
+                        yield WriteOp(counter_registers[a_set], cnt[a_set][my_index] + 1)
 
             # End-of-iteration bookkeeping (free: local variables only).
             iteration += 1

@@ -35,6 +35,12 @@ class OmegaAutomaton(KAntiOmegaAutomaton):
     eventually all correct processes publish the same correct leader whenever
     the run's schedule lies in ``S^1_{t+1,n}`` (some single process is timely
     with respect to some set of ``t + 1`` processes).
+
+    Like its parent, the automaton pre-binds its heartbeat/counter op tables
+    to the executing register file's arena slots
+    (:meth:`~repro.failure_detectors.anti_omega.KAntiOmegaAutomaton.prebind`,
+    invoked automatically by the simulator), so steady-state steps dispatch
+    by integer slot with no per-step op allocation.
     """
 
     def __init__(

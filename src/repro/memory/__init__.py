@@ -1,7 +1,7 @@
 """Shared-memory substrate: atomic registers, collects, and atomic snapshots."""
 
 from .collect import collect, collect_keys, store, write_keys
-from .registers import Register, RegisterFile, RegisterName
+from .registers import Register, RegisterArena, RegisterFile, RegisterName
 from .snapshot import AtomicSnapshot, SnapshotCell
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "store",
     "write_keys",
     "Register",
+    "RegisterArena",
     "RegisterFile",
     "RegisterName",
     "AtomicSnapshot",

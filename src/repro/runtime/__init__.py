@@ -1,6 +1,8 @@
 """Runtime: process automata, the execution kernel, crash patterns, composition."""
 
 from .automaton import (
+    BoundReadOp,
+    BoundWriteOp,
     FunctionAutomaton,
     IdleAutomaton,
     ProcessAutomaton,
@@ -19,10 +21,17 @@ from .kernel import (
     INSTRUMENTED,
     ON_PUBLISH,
     ExecutionPolicy,
+    align_replica_arenas,
     execute_batch,
     trace_sampling,
 )
-from .simulator import ObserverEntry, RunResult, Simulator, build_simulator
+from .simulator import (
+    ObserverEntry,
+    RunResult,
+    Simulator,
+    build_simulator,
+    prebinding_disabled,
+)
 
 __all__ = [
     "EVERY_STEP",
@@ -31,9 +40,12 @@ __all__ = [
     "INSTRUMENTED",
     "ON_PUBLISH",
     "ExecutionPolicy",
+    "align_replica_arenas",
     "execute_batch",
     "trace_sampling",
     "ObserverEntry",
+    "BoundReadOp",
+    "BoundWriteOp",
     "FunctionAutomaton",
     "IdleAutomaton",
     "ProcessAutomaton",
@@ -48,4 +60,5 @@ __all__ = [
     "RunResult",
     "Simulator",
     "build_simulator",
+    "prebinding_disabled",
 ]

@@ -26,10 +26,24 @@ one-op-per-step discipline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Hashable, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..errors import SimulationError
 from ..types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..memory.registers import RegisterFile
 
 #: Register names are arbitrary hashable values (see :mod:`repro.memory.registers`).
 #: Re-declared here (rather than imported) to keep the runtime package free of
@@ -37,23 +51,128 @@ from ..types import ProcessId
 RegisterName = Hashable
 
 
-@dataclass(frozen=True)
 class ReadOp:
-    """Read the register with the given name; the step's result is its value."""
+    """Read the register with the given name; the step's result is its value.
 
-    register: RegisterName
+    Operations are plain ``__slots__`` value objects on the per-step hot path
+    — every algorithm that builds a fresh op per yield pays the constructor —
+    so they carry no dataclass machinery.  They are immutable by convention:
+    nothing in the library mutates an op after construction, which is what
+    lets automata hoist op tables out of their loops and share them across
+    iterations (see :meth:`ProcessAutomaton.prebind`).
+    """
+
+    __slots__ = ("register",)
+
+    def __init__(self, register: RegisterName) -> None:
+        self.register = register
+
+    def bind(self, registers: "RegisterFile") -> "BoundReadOp":
+        """Intern this op's register in ``registers`` → a slot-carrying op.
+
+        The returned :class:`BoundReadOp` dispatches by integer slot against
+        the file's :class:`~repro.memory.registers.RegisterArena`, skipping
+        the per-step name hash.  It must only be yielded in runs driven by
+        the same register file it was bound to.
+        """
+        return BoundReadOp(self.register, registers.resolve_slot(self.register))
+
+    def __repr__(self) -> str:
+        return f"ReadOp(register={self.register!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return other.__class__ is self.__class__ and other.register == self.register
+
+    def __hash__(self) -> int:
+        return hash((ReadOp, self.register))
 
 
-@dataclass(frozen=True)
 class WriteOp:
-    """Write ``value`` to the register with the given name; the result is ``None``."""
+    """Write ``value`` to the register with the given name; the result is ``None``.
 
-    register: RegisterName
-    value: Any
+    Same hot-path construction contract as :class:`ReadOp`: a plain
+    ``__slots__`` value object, immutable by convention.
+    """
+
+    __slots__ = ("register", "value")
+
+    def __init__(self, register: RegisterName, value: Any) -> None:
+        self.register = register
+        self.value = value
+
+    def bind(self, registers: "RegisterFile") -> "BoundWriteOp":
+        """Intern this op's register in ``registers`` → a slot-carrying op.
+
+        The returned :class:`BoundWriteOp` carries this op's current value;
+        prebound tables typically treat it as a reusable cell, assigning
+        ``bound.value`` before each yield.
+        """
+        return BoundWriteOp(
+            self.register, registers.resolve_slot(self.register), self.value
+        )
+
+    def __repr__(self) -> str:
+        return f"WriteOp(register={self.register!r}, value={self.value!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            other.__class__ is self.__class__
+            and other.register == self.register
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((WriteOp, self.register, self.value))
+
+
+class BoundReadOp:
+    """A :class:`ReadOp` resolved to its register's arena slot.
+
+    Produced by :meth:`ReadOp.bind`.  The kernel dispatches it straight
+    against the arena's parallel lists (``values[slot]``); name-addressed
+    paths (:meth:`Simulator.step`, the validation fallback) use ``register``,
+    which names the same storage as long as the op is executed under the
+    register file it was bound to — the contract :meth:`ProcessAutomaton.prebind`
+    upholds automatically.
+    """
+
+    __slots__ = ("register", "slot")
+
+    def __init__(self, register: RegisterName, slot: int) -> None:
+        self.register = register
+        self.slot = slot
+
+    def __repr__(self) -> str:
+        return f"BoundReadOp(register={self.register!r}, slot={self.slot})"
+
+
+class BoundWriteOp:
+    """A :class:`WriteOp` resolved to its register's arena slot.
+
+    Produced by :meth:`WriteOp.bind`.  Unlike the unbound ops, ``value`` is
+    deliberately assignable: a prebound automaton keeps one bound write op
+    per register and refreshes ``value`` before each yield, so steady-state
+    steps allocate nothing.  This is safe because the kernel consumes every
+    yielded op synchronously within the same step; a bound write op must not
+    be stored or compared after yielding.
+    """
+
+    __slots__ = ("register", "slot", "value")
+
+    def __init__(self, register: RegisterName, slot: int, value: Any) -> None:
+        self.register = register
+        self.slot = slot
+        self.value = value
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundWriteOp(register={self.register!r}, slot={self.slot}, "
+            f"value={self.value!r})"
+        )
 
 
 #: A shared-memory operation (one per step).
-Operation = "ReadOp | WriteOp"
+Operation = "ReadOp | WriteOp | BoundReadOp | BoundWriteOp"
 
 #: The generator type implementing a process's program: yields operations,
 #: receives results, may ``return`` a final value when it halts.
@@ -106,11 +225,47 @@ class ProcessAutomaton:
         #: fast path samples observers only when this counter moved, so all
         #: mutations of ``outputs`` must go through :meth:`publish`.
         self.outputs_version: int = 0
+        #: The register file the simulator last pre-bound this automaton to
+        #: (set only for automata that override :meth:`prebind`).  Guards
+        #: against a stale binding: a simulator refuses to start a program
+        #: whose op tables carry another file's slots.
+        self._prebound_registers: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def context(self) -> ProcessContext:
         """Build the context object passed to :meth:`program`."""
         return ProcessContext(pid=self.pid, n=self.n, params=dict(self.params))
+
+    def prebind(self, registers: "RegisterFile") -> None:
+        """Bind preallocated operation tables to ``registers``' arena slots.
+
+        The :class:`~repro.runtime.simulator.Simulator` calls this hook for
+        every automaton at construction time — before any :meth:`program`
+        generator exists — passing its own register file, so bound ops always
+        target the arena that will execute them.  The default is a no-op:
+        automata that construct ops per step simply stay on the name-addressed
+        path, and the two dispatch paths are observably identical.
+
+        Implementations must rebuild their bound tables from unbound
+        templates on every call (an automaton may be rebound to a fresh file)
+        and must only yield the resulting bound ops in runs driven by the
+        same register file.  Reusing one :class:`BoundWriteOp` per register
+        and assigning its ``value`` before each yield is the intended pattern
+        for write-heavy loops.
+        """
+
+    def unbind(self) -> None:
+        """Drop bound op tables and return to name-addressed dispatch.
+
+        The inverse of :meth:`prebind`: implementations restore their unbound
+        templates so subsequently created program generators yield plain
+        :class:`ReadOp`/:class:`WriteOp` values again.  The simulator calls
+        this when prebinding is disabled (``Simulator(prebind=False)`` or
+        :func:`~repro.runtime.simulator.prebinding_disabled`), so an automaton
+        bound to an earlier simulator's register file cannot leak stale slots
+        into a run the caller asked to keep on the name-addressed path.  The
+        default is a no-op, matching the default :meth:`prebind`.
+        """
 
     def program(self, ctx: ProcessContext) -> Program:
         """The process's program.  Subclasses must override.
@@ -161,25 +316,49 @@ class IdleAutomaton(ProcessAutomaton):
 
     Used to model processes that exist in ``Πn`` but run no interesting code —
     for example the fictitious processes of Theorem 27(2b)'s construction, or
-    filler processes in adversary experiments.
+    filler processes in adversary experiments.  When prebound it reuses one
+    bound write op, refreshing its value per step — the minimal example of the
+    allocation-free steady state.
     """
+
+    def __init__(self, pid: ProcessId, n: int, **params: Any) -> None:
+        super().__init__(pid, n, **params)
+        self._scratch_register = ("idle-scratch", pid)
+        self._bound_scratch: Optional[BoundWriteOp] = None
+
+    def prebind(self, registers: "RegisterFile") -> None:
+        self._bound_scratch = WriteOp(self._scratch_register, 0).bind(registers)
+
+    def unbind(self) -> None:
+        self._bound_scratch = None
 
     def program(self, ctx: ProcessContext) -> Program:
         count = 0
+        scratch = self._bound_scratch
+        if scratch is None:
+            while True:
+                count += 1
+                yield WriteOp(self._scratch_register, count)
         while True:
             count += 1
-            yield WriteOp(("idle-scratch", self.pid), count)
+            scratch.value = count
+            yield scratch
 
 
-def validate_operation(op: Any) -> "ReadOp | WriteOp":
+def validate_operation(op: Any) -> "ReadOp | WriteOp | BoundReadOp | BoundWriteOp":
     """Check that a yielded object is a shared-memory operation.
 
     The simulator calls this on every yield so that an algorithm bug (yielding
     a bare value, a coroutine, ...) fails loudly at the offending step.
     """
-    if isinstance(op, (ReadOp, WriteOp)):
+    if isinstance(op, (ReadOp, WriteOp, BoundReadOp, BoundWriteOp)):
         return op
     raise SimulationError(
-        f"automaton yielded {op!r}, which is not a ReadOp or WriteOp; "
-        "every yield must be exactly one shared-memory operation"
+        f"automaton yielded {op!r}, which is not a ReadOp/WriteOp (or their "
+        "bound forms); every yield must be exactly one shared-memory operation"
     )
+
+
+def is_read_operation(op: Any) -> bool:
+    """Whether a validated operation is a read (bound or not, subclass or not)."""
+    return isinstance(op, (ReadOp, BoundReadOp))

@@ -60,6 +60,21 @@ class ComposedAutomaton(ProcessAutomaton):
         self._synced_component_versions = -1
 
     # ------------------------------------------------------------------
+    def prebind(self, registers: Any) -> None:
+        """Forward operation pre-binding to every component.
+
+        The composition yields its components' ops verbatim, so binding the
+        components binds the composition; there are no ops of its own.
+        """
+        for _, component in self._components:
+            component.prebind(registers)
+
+    def unbind(self) -> None:
+        """Forward un-binding to every component (see :meth:`prebind`)."""
+        for _, component in self._components:
+            component.unbind()
+
+    # ------------------------------------------------------------------
     def component(self, name: str) -> ProcessAutomaton:
         """Access a sub-automaton by its name."""
         for component_name, component in self._components:

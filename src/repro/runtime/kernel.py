@@ -36,11 +36,21 @@ under-sampling.  Change-recording observers such as
 version-gated sampling hands them byte-identical change sequences, because on
 every skipped step they would have observed an unchanged value.
 
+Register dispatch is slot-addressed: the loops hold the register file's
+:class:`~repro.memory.registers.RegisterArena` parallel lists and execute a
+pre-bound op (:class:`~repro.runtime.automaton.BoundReadOp` /
+:class:`~repro.runtime.automaton.BoundWriteOp`) as two list indexes —
+``values[op.slot]`` — with no name hash at all.  Unbound ops resolve their
+name to a slot through the arena's interning dict (one C-level probe), so
+both op shapes execute against the same flat storage and are observably
+identical.
+
 ``kernel.py`` and ``simulator.py`` are two halves of one component — the
 :class:`~repro.runtime.simulator.Simulator` façade owns the run state, the
 kernel drives it — so the kernel works on the simulator's internal fields
 directly.  The one cross-subsystem boundary, shared memory, goes through the
-sanctioned :meth:`repro.memory.registers.RegisterFile.fast_ops` accessor; the
+sanctioned :meth:`repro.memory.registers.RegisterFile.arena_view` /
+:meth:`~repro.memory.registers.RegisterFile.resolve_slot` accessors; the
 kernel never touches another module's privates.
 """
 
@@ -66,7 +76,15 @@ from typing import (
 from ..core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
 from ..errors import SimulationError
 from ..types import ProcessId
-from .automaton import ReadOp, WriteOp, validate_operation
+from .automaton import (
+    BoundReadOp,
+    BoundWriteOp,
+    ReadOp,
+    RegisterName,
+    WriteOp,
+    is_read_operation,
+    validate_operation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .simulator import ProcessState, RunResult, ScheduleSource, Simulator, StopCondition
@@ -269,7 +287,13 @@ def _execute_general(
     collect = policy.collect_trace
     stride = policy.trace_stride
     registers = simulator.registers
-    register_map, resolve_register = registers.fast_ops()
+    arena = registers.arena_view()
+    slot_get = arena.slots.get
+    values = arena.values
+    read_counts = arena.read_counts
+    write_counts = arena.write_counts
+    writers = arena.writers
+    resolve_slot = registers.resolve_slot
     strict = simulator.strict
     n = simulator.n
     trace = simulator._trace
@@ -298,9 +322,7 @@ def _execute_general(
                     generator = state.generator
                     send_value = state.pending_result
                 else:
-                    generator = automaton.program(automaton.context())
-                    state.generator = generator
-                    state.started = True
+                    generator = simulator._start_program(state)
                     send_value = None
                 try:
                     op = generator.send(send_value)
@@ -309,19 +331,32 @@ def _execute_general(
                 else:
                     op_type = type(op)
                     if op_type is ReadOp:
-                        register = register_map.get(op.register)
-                        if register is None:
-                            register = resolve_register(op.register)
-                        register.read_count += 1
-                        state.pending_result = register.value
+                        slot = slot_get(op.register)
+                        if slot is None:
+                            slot = resolve_slot(op.register)
+                        read_counts[slot] += 1
+                        state.pending_result = values[slot]
                     elif op_type is WriteOp:
-                        register = register_map.get(op.register)
-                        if register is None:
-                            register = resolve_register(op.register)
-                        if register.writer is not None and register.writer != pid:
-                            register.write(op.value, pid)  # raises the canonical error
-                        register.write_count += 1
-                        register.value = op.value
+                        slot = slot_get(op.register)
+                        if slot is None:
+                            slot = resolve_slot(op.register)
+                        owner = writers[slot]
+                        if owner is not None and owner != pid:
+                            arena.write(slot, op.value, pid)  # raises the canonical error
+                        write_counts[slot] += 1
+                        values[slot] = op.value
+                        state.pending_result = None
+                    elif op_type is BoundReadOp:
+                        slot = op.slot
+                        read_counts[slot] += 1
+                        state.pending_result = values[slot]
+                    elif op_type is BoundWriteOp:
+                        slot = op.slot
+                        owner = writers[slot]
+                        if owner is not None and owner != pid:
+                            arena.write(slot, op.value, pid)  # raises the canonical error
+                        write_counts[slot] += 1
+                        values[slot] = op.value
                         state.pending_result = None
                     else:
                         # Exact-type checks above keep the hot path cheap;
@@ -329,7 +364,7 @@ def _execute_general(
                         # validate_operation) take this slower branch, and
                         # anything else fails validation loudly.
                         operation = validate_operation(op)
-                        if isinstance(operation, ReadOp):
+                        if is_read_operation(operation):
                             state.pending_result = registers.read(
                                 operation.register, reader=pid
                             )
@@ -378,9 +413,25 @@ def _execute_bare(simulator: "Simulator", source: Iterable[ProcessId]) -> "RunRe
     C-speed pass over at most the budget), then executed by
     :func:`_execute_bare_counted` — there is exactly one bare loop body to
     keep equivalent with the general loop.
+
+    Raw iterables — unlike compiled buffers and :class:`Schedule` objects —
+    are not validated at construction, and the bare loop's pid-indexed tables
+    must never be indexed with an out-of-range pid (a negative id would alias
+    a real process).  The tally pass doubles as that validation: when the
+    buffer mentions an unknown pid, the valid prefix executes normally and
+    the run fails at the offending step with the same error and exact
+    accounting the general loop produces.
     """
     buffer = source if isinstance(source, array) else array("i", source)
     counter = Counter(buffer)
+    n = simulator.n
+    if any(not 1 <= pid <= n for pid in counter):
+        bad_index, bad_pid = next(
+            (index, pid) for index, pid in enumerate(buffer) if not 1 <= pid <= n
+        )
+        prefix = buffer[:bad_index]
+        _execute_bare_counted(simulator, prefix, dict(Counter(prefix)))
+        raise SimulationError(f"unknown process id {bad_pid}")
     counts = {pid: counter.get(pid, 0) for pid in simulator._states}
     return _execute_bare_counted(simulator, buffer, counts)
 
@@ -394,47 +445,50 @@ def _execute_bare_counted(
     ``buffer`` holds exactly the budgeted steps — a whole
     :class:`CompiledSchedule` array with its cached
     :meth:`~CompiledSchedule.step_counts` tally, or any other source
-    materialized and tallied by the :func:`_execute_bare` adapter.  Because a
-    completed run executes every buffered step, ``steps_taken`` can be
-    credited in bulk after the loop instead of being counted per step — the
-    loop only keeps a plain running total so that an exception (a
-    single-writer violation, an algorithm bug) still leaves exact accounting:
-    on the error path the partial per-process tally is recounted from the
-    consumed buffer prefix.
+    materialized, tallied and pid-validated by the :func:`_execute_bare`
+    adapter; every buffered pid is known to lie in ``1..n``, which is what
+    lets the loop keep its per-process ``sends``/``pending`` tables as flat
+    pid-indexed lists instead of dicts.  Because a completed run executes
+    every buffered step, ``steps_taken`` can be credited in bulk after the
+    loop instead of being counted per step — the loop only keeps a plain
+    running total so that an exception (a single-writer violation, an
+    algorithm bug) still leaves exact accounting: on the error path the
+    partial per-process tally is recounted from the consumed buffer prefix.
     """
     from .simulator import RunResult  # local import: simulator imports this module
 
     registers = simulator.registers
-    register_map, resolve_register = registers.fast_ops()
-    register_get = register_map.get
+    arena = registers.arena_view()
+    slot_get = arena.slots.get
+    values = arena.values
+    read_counts = arena.read_counts
+    write_counts = arena.write_counts
+    writers = arena.writers
+    resolve_slot = registers.resolve_slot
     registers_read = registers.read
     registers_write = registers.write
     strict = simulator.strict
     n = simulator.n
     states = simulator._states
-    states_get = states.get
     halt = simulator._halt
     read_op, write_op = ReadOp, WriteOp
-    sends: Dict[ProcessId, Optional[Callable[[Any], Any]]] = {}
-    pending: Dict[ProcessId, Any] = {}
+    bound_read_op, bound_write_op = BoundReadOp, BoundWriteOp
+    # pid-indexed tables (slot 0 unused): a list index beats a dict probe on
+    # every step, and the adapter/compiled-buffer validation guarantees every
+    # buffered pid is a real index.
+    sends: List[Optional[Callable[[Any], Any]]] = [None] * (n + 1)
+    pending: List[Any] = [None] * (n + 1)
     for pid, state in states.items():
-        if state.halted:
-            sends[pid] = None
-        elif state.started:
+        if not state.halted and state.started:
             sends[pid] = state.generator.send
             pending[pid] = state.pending_result
-    sends_get = sends.get
     executed = 0
     try:
         for pid in buffer:
-            send = sends_get(pid)
+            send = sends[pid]
             if send is None:
-                # Cold paths: a process's first step, halted processes, and —
-                # for buffers materialized from raw iterables — unknown pids
-                # (compiled buffers are validated at construction instead).
-                state = states_get(pid)
-                if state is None:
-                    raise SimulationError(f"unknown process id {pid}")
+                # Cold paths: a process's first step and halted processes.
+                state = states[pid]
                 if state.halted:
                     if strict:
                         raise SimulationError(
@@ -442,11 +496,7 @@ def _execute_bare_counted(
                         )
                     executed += 1
                     continue
-                automaton = state.automaton
-                generator = automaton.program(automaton.context())
-                state.generator = generator
-                state.started = True
-                send = generator.send
+                send = simulator._start_program(state).send
                 sends[pid] = send
                 send_value = None
             else:
@@ -455,29 +505,43 @@ def _execute_bare_counted(
                 op = send(send_value)
             except StopIteration as stop:
                 state = states[pid]
-                state.pending_result = pending.pop(pid, None)
+                state.pending_result = pending[pid]
+                pending[pid] = None
                 halt(state, stop)
                 sends[pid] = None
             else:
                 op_type = type(op)
                 if op_type is read_op:
-                    register = register_get(op.register)
-                    if register is None:
-                        register = resolve_register(op.register)
-                    register.read_count += 1
-                    pending[pid] = register.value
+                    slot = slot_get(op.register)
+                    if slot is None:
+                        slot = resolve_slot(op.register)
+                    read_counts[slot] += 1
+                    pending[pid] = values[slot]
                 elif op_type is write_op:
-                    register = register_get(op.register)
-                    if register is None:
-                        register = resolve_register(op.register)
-                    if register.writer is not None and register.writer != pid:
-                        register.write(op.value, pid)  # raises the canonical error
-                    register.write_count += 1
-                    register.value = op.value
+                    slot = slot_get(op.register)
+                    if slot is None:
+                        slot = resolve_slot(op.register)
+                    owner = writers[slot]
+                    if owner is not None and owner != pid:
+                        arena.write(slot, op.value, pid)  # raises the canonical error
+                    write_counts[slot] += 1
+                    values[slot] = op.value
+                    pending[pid] = None
+                elif op_type is bound_read_op:
+                    slot = op.slot
+                    read_counts[slot] += 1
+                    pending[pid] = values[slot]
+                elif op_type is bound_write_op:
+                    slot = op.slot
+                    owner = writers[slot]
+                    if owner is not None and owner != pid:
+                        arena.write(slot, op.value, pid)  # raises the canonical error
+                    write_counts[slot] += 1
+                    values[slot] = op.value
                     pending[pid] = None
                 else:
                     operation = validate_operation(op)
-                    if isinstance(operation, ReadOp):
+                    if is_read_operation(operation):
                         pending[pid] = registers_read(operation.register, reader=pid)
                     else:
                         registers_write(operation.register, operation.value, writer=pid)
@@ -491,9 +555,9 @@ def _execute_bare_counted(
         else:
             for pid in buffer[:executed]:
                 states[pid].steps_taken += 1
-        for pid, send in sends.items():
-            if send is not None:
-                states[pid].pending_result = pending.get(pid)
+        for pid in range(1, n + 1):
+            if sends[pid] is not None:
+                states[pid].pending_result = pending[pid]
         simulator._step_index += executed
     return RunResult(
         executed_schedule=Schedule(steps=(), n=n),
@@ -537,6 +601,48 @@ def _materialize_for_batch(
     return CompiledSchedule(n=n, steps=steps, description="materialized")
 
 
+def align_replica_arenas(
+    simulators: Sequence["Simulator"],
+) -> Optional[Dict[RegisterName, int]]:
+    """Lay replica register state out as value columns over one shared slot map.
+
+    The canonical slot order is the longest replica's interning order.  When
+    every replica's order is a prefix of it — true by construction for
+    identically built replicas, the campaign and benchmark case — the missing
+    tail names are interned into the shorter replicas (with each file's own
+    declared defaults), after which slot ``i`` names the same register in
+    every replica and ``[sim.registers.arena_view().values for sim in
+    simulators]`` is a set of aligned per-replica value columns over one
+    logical slot map: the stepping stone to vectorized multi-replica
+    execution.  Identically built replicas executing the same schedule also
+    *stay* aligned, because they intern lazily created registers in the same
+    order.
+
+    Returns the shared ``name → slot`` map when the replicas align.  When
+    pre-existing interning orders diverge, alignment is impossible without
+    renumbering live slots (which bound ops forbid), so the function returns
+    ``None`` and leaves every arena untouched — per-replica dispatch stays
+    correct regardless, and no replica's register namespace is polluted with
+    another algorithm's names.
+    """
+    sims = list(simulators)
+    if not sims:
+        return None
+    arenas = [sim.registers.arena_view() for sim in sims]
+    canonical = max(arenas, key=len)
+    canonical_names = canonical.names
+    for arena in arenas:
+        if arena is not canonical and arena.names != canonical_names[: len(arena)]:
+            return None
+    for sim, arena in zip(sims, arenas):
+        if arena is canonical or len(arena) == len(canonical_names):
+            continue
+        resolve_slot = sim.registers.resolve_slot
+        for name in canonical_names[len(arena):]:
+            resolve_slot(name)
+    return dict(canonical.slots)
+
+
 def execute_batch(
     simulators: Sequence["Simulator"],
     schedule: "ScheduleSource",
@@ -547,10 +653,12 @@ def execute_batch(
 
     All replicas must live over the same ``Πn``.  The source is normalized
     once (non-re-iterable sources are materialized into a shared
-    :class:`~repro.core.schedule.CompiledSchedule` buffer), then each replica
-    is executed to the same step budget under ``policy`` — through the bare
-    loop when the replica attaches no instrumentation, through the general
-    loop otherwise.  Results come back in replica order and are identical to
+    :class:`~repro.core.schedule.CompiledSchedule` buffer) and the replicas'
+    register arenas are slot-aligned (:func:`align_replica_arenas`), then each
+    replica is executed to the same step budget under ``policy`` — through
+    the bare loop when the replica attaches no instrumentation, through the
+    general loop otherwise.  Results come back in replica order and are
+    identical to
     ``[execute(sim, schedule, max_steps, None, policy) for sim in simulators]``.
     """
     sims = list(simulators)
@@ -562,6 +670,7 @@ def execute_batch(
             raise SimulationError(
                 f"execute_batch needs replicas over one Πn, got n={n} and n={sim.n}"
             )
+    align_replica_arenas(sims)
     compiled = _materialize_for_batch(n, schedule, max_steps)
     steps = compiled.steps
     budget = len(steps) if max_steps is None else min(max_steps, len(steps))

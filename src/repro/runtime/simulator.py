@@ -24,14 +24,20 @@ run a policy that would under-sample an attached observer.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.schedule import CompiledSchedule, InfiniteSchedule, Schedule
 from ..errors import SimulationError
 from ..memory.registers import RegisterFile
 from ..types import ProcessId
-from .automaton import ProcessAutomaton, Program, ReadOp, WriteOp, validate_operation
+from .automaton import (
+    ProcessAutomaton,
+    Program,
+    is_read_operation,
+    validate_operation,
+)
 from .kernel import (
     EVERY_STEP,
     FAST,
@@ -50,6 +56,30 @@ Observer = Callable[[int, ProcessId, "Simulator"], None]
 
 #: Stop predicate signature: (step_index, simulator) -> bool, checked after each step.
 StopCondition = Callable[[int, "Simulator"], bool]
+
+#: Module-level prebinding switch (see :func:`prebinding_disabled`).
+_PREBIND_ENABLED = True
+
+
+@contextmanager
+def prebinding_disabled() -> Iterator[None]:
+    """Construct simulators without pre-binding automata operation tables.
+
+    Inside this context every new :class:`Simulator` skips the
+    :meth:`~repro.runtime.automaton.ProcessAutomaton.prebind` calls it would
+    normally make, so automata yield name-addressed ops and the kernel takes
+    the interning-dict path on every register access.  Used by the
+    equivalence tests (to pin that slot-bound and name-addressed dispatch are
+    byte-identical) and available to campaigns as an A/B switch, mirroring
+    :func:`repro.campaign.runner.compiled_schedules_disabled`.
+    """
+    global _PREBIND_ENABLED
+    previous = _PREBIND_ENABLED
+    _PREBIND_ENABLED = False
+    try:
+        yield
+    finally:
+        _PREBIND_ENABLED = previous
 
 
 @dataclass(slots=True)
@@ -119,6 +149,14 @@ class Simulator:
         :class:`SimulationError`; when false (default) such steps are recorded
         as no-ops, which matches the common convention that a decided process
         keeps taking skip steps.
+    prebind:
+        When true (default), every automaton's
+        :meth:`~repro.runtime.automaton.ProcessAutomaton.prebind` hook is
+        invoked with this simulator's register file before any program runs,
+        so automata with preallocated op tables yield slot-bound operations.
+        Pass false — or wrap construction in :func:`prebinding_disabled` — to
+        force the name-addressed dispatch path (the two are observably
+        identical; the switch exists for equivalence tests and A/B timing).
     """
 
     def __init__(
@@ -127,6 +165,7 @@ class Simulator:
         automata: Dict[ProcessId, ProcessAutomaton],
         registers: Optional[RegisterFile] = None,
         strict: bool = False,
+        prebind: bool = True,
     ) -> None:
         if n < 1:
             raise SimulationError(f"simulator needs n >= 1 processes, got {n}")
@@ -145,6 +184,22 @@ class Simulator:
         self._observers: List[ObserverEntry] = []
         self._trace: List[ProcessId] = []
         self._step_index = 0
+        if prebind and _PREBIND_ENABLED:
+            for state in self._states.values():
+                automaton = state.automaton
+                automaton.prebind(self.registers)
+                if type(automaton).prebind is not ProcessAutomaton.prebind:
+                    # Only automata that actually bind tables are marked; the
+                    # marker lets _start_program refuse to run a program whose
+                    # op tables carry another simulator's slots.
+                    automaton._prebound_registers = self.registers
+        else:
+            # Keep the switch honest for reused automata: tables bound to an
+            # earlier simulator's register file must not leak stale slots
+            # into a run that asked for name-addressed dispatch.
+            for state in self._states.values():
+                state.automaton.unbind()
+                state.automaton._prebound_registers = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -230,11 +285,9 @@ class Simulator:
             self._record_step(pid, state)
             return
         if not state.started:
-            automaton = state.automaton
-            state.generator = automaton.program(automaton.context())
-            state.started = True
+            generator = self._start_program(state)
             try:
-                op = state.generator.send(None)
+                op = generator.send(None)
             except StopIteration as stop:
                 self._halt(state, stop)
                 self._record_step(pid, state)
@@ -248,7 +301,7 @@ class Simulator:
                 self._record_step(pid, state)
                 return
         operation = validate_operation(op)
-        if isinstance(operation, ReadOp):
+        if is_read_operation(operation):
             state.pending_result = self.registers.read(operation.register, reader=pid)
         else:
             self.registers.write(operation.register, operation.value, writer=pid)
@@ -328,6 +381,31 @@ class Simulator:
             raise SimulationError(f"unknown process id {pid}")
         return state
 
+    def _start_program(self, state: ProcessState) -> Program:
+        """Create a process's program generator (its first scheduled step).
+
+        Refuses to start an automaton whose op tables were pre-bound to a
+        *different* simulator's register file — constructing a second
+        simulator over the same automata rebinds them, and slot-carrying ops
+        dispatched against the wrong arena would silently alias registers.
+        The loud error replaces that corruption; rebinding (constructing this
+        simulator last, or calling ``automaton.prebind(simulator.registers)``)
+        or ``prebind=False`` both resolve it.
+        """
+        automaton = state.automaton
+        bound = automaton._prebound_registers
+        if bound is not None and bound is not self.registers:
+            raise SimulationError(
+                f"{automaton.describe()} is pre-bound to a different simulator's "
+                "register file (its op tables carry that file's slots); rebind it "
+                "with automaton.prebind(this simulator's registers), construct "
+                "this simulator after the other one, or pass prebind=False"
+            )
+        generator = automaton.program(automaton.context())
+        state.generator = generator
+        state.started = True
+        return generator
+
     def _halt(self, state: ProcessState, stop: StopIteration) -> None:
         state.halted = True
         state.generator = None
@@ -346,7 +424,10 @@ def build_simulator(
     automaton_factory: Callable[[ProcessId], ProcessAutomaton],
     registers: Optional[RegisterFile] = None,
     strict: bool = False,
+    prebind: bool = True,
 ) -> Simulator:
     """Convenience constructor: build one automaton per process from a factory."""
     automata = {pid: automaton_factory(pid) for pid in range(1, n + 1)}
-    return Simulator(n=n, automata=automata, registers=registers, strict=strict)
+    return Simulator(
+        n=n, automata=automata, registers=registers, strict=strict, prebind=prebind
+    )

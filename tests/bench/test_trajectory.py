@@ -38,7 +38,7 @@ class TestCommittedBaseline:
         kernel_doc, _ = committed_trajectory
         assert kernel_doc["suite"] == "kernel"
         assert {"platform", "python", "cpu_count"} <= set(kernel_doc["machine"])
-        for workload in ("floor", "fresh-ops"):
+        for workload in ("floor", "fresh-ops", "bound-ops"):
             cases = kernel_doc["workloads"][workload]
             for case in (
                 "instrumented",
@@ -49,9 +49,11 @@ class TestCommittedBaseline:
             ):
                 assert cases[case]["ns_per_step"] > 0
                 assert cases[case]["speedup_vs_instrumented"] > 0
-        # The acceptance bar this PR pins: >= 2x for the bare batched loop
-        # over the per-run fast path on the no-observer configuration.
+        # The acceptance bars pinned by the batched-execution and
+        # slot-addressed-pipeline PRs: >= 2x batched-vs-per-run on the floor
+        # workload, >= 1.5x on the fresh-operation workload.
         assert kernel_doc["headline"]["batched_vs_fast_stream"] >= 2.0
+        assert kernel_doc["headline"]["fresh_ops_batched_vs_fast_stream"] >= 1.5
 
     def test_campaign_document_shape(self, committed_trajectory):
         _, campaign_doc = committed_trajectory
@@ -84,6 +86,30 @@ class TestRegressionCheck:
         )
         assert check_regression(wobbly, campaign_doc, REPO_ROOT) == []
 
+    def test_fresh_ops_headline_regression_fails(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        regressed = json.loads(json.dumps(kernel_doc))
+        regressed["headline"]["fresh_ops_batched_vs_fast_stream"] = (
+            kernel_doc["headline"]["fresh_ops_batched_vs_fast_stream"] * 0.5
+        )
+        failures = check_regression(regressed, campaign_doc, REPO_ROOT)
+        assert len(failures) == 1
+        assert "fresh_ops_batched_vs_fast_stream" in failures[0]
+
+    def test_headline_key_missing_from_baseline_is_skipped(
+        self, committed_trajectory, tmp_path
+    ):
+        # A baseline from before a headline was promoted cannot gate it; the
+        # first regenerated baseline that records the key starts the gate.
+        from repro.bench import compare_trajectories
+
+        kernel_doc, campaign_doc = committed_trajectory
+        old_baseline = json.loads(json.dumps(kernel_doc))
+        del old_baseline["headline"]["fresh_ops_batched_vs_fast_stream"]
+        fresh = json.loads(json.dumps(kernel_doc))
+        fresh["headline"]["fresh_ops_batched_vs_fast_stream"] = 0.1
+        assert compare_trajectories(fresh, campaign_doc, old_baseline, campaign_doc) == []
+
     def test_payload_divergence_fails(self, committed_trajectory):
         kernel_doc, campaign_doc = committed_trajectory
         broken = json.loads(json.dumps(campaign_doc))
@@ -99,6 +125,8 @@ class TestReporting:
         assert "| batch-compiled-bare |" in markdown
         assert "| campaign-batched |" in markdown
         assert "Headline:" in markdown
+        assert "Fresh-ops headline:" in markdown
+        assert "bound-ops ns/step" in markdown
 
     def test_machine_info_is_json_serializable(self):
         info = machine_info()
@@ -116,7 +144,26 @@ class TestCliWiring:
         args = parser.parse_args(["bench", "--check"])
         assert args.check == "."
         args = parser.parse_args(["bench"])
-        assert args.check is None and args.out == "."
+        assert args.check is None and args.out == "." and args.workload is None
+        args = parser.parse_args(
+            ["bench", "--workload", "fresh-ops", "--workload", "bound-ops"]
+        )
+        assert args.workload == ["fresh-ops", "bound-ops"]
+
+    def test_workload_filter_rejects_check_and_markdown(self):
+        from repro.cli import run
+
+        with pytest.raises(SystemExit):
+            run(["bench", "--workload", "floor", "--check", "."])
+        with pytest.raises(SystemExit):
+            run(["bench", "--workload", "floor", "--markdown"])
+
+    def test_unknown_workload_rejected(self):
+        from repro.bench import bench_kernel
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            bench_kernel(smoke=True, workloads=["nope"])
 
     def test_bench_markdown_renders_committed_trajectory(self):
         from repro.cli import run

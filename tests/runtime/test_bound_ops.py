@@ -1,0 +1,483 @@
+"""The slot-addressed operation pipeline: bind mechanics, prebind wiring, and
+the bound-vs-unbound / arena-vs-dict equivalence contract.
+
+The headline tests are the seeded randomized sweeps: 50+ random
+(scenario family, crash pattern, n, t, k, seed) combinations running the real
+Figure 2 detector three ways — name-addressed dispatch under the instrumented
+policy (the dict-path reference), slot-bound dispatch through the bare loop,
+and slot-bound dispatch through the batched loop — with outputs, halted sets,
+step counts, register operation counts and tracker change sequences asserted
+identical.  That contract is what lets the simulator prebind automata
+unconditionally.
+"""
+
+import random
+
+import pytest
+
+from repro.agreement.problem import distinct_inputs
+from repro.agreement.runner import solve_agreement
+from repro.core.schedule import Schedule
+from repro.errors import RegisterError, SimulationError
+from repro.failure_detectors.anti_omega import (
+    KAntiOmegaAutomaton,
+    make_anti_omega_algorithm,
+)
+from repro.failure_detectors.base import make_detector_trackers
+from repro.memory.registers import RegisterFile
+from repro.runtime.automaton import (
+    BoundReadOp,
+    BoundWriteOp,
+    FunctionAutomaton,
+    IdleAutomaton,
+    ProcessAutomaton,
+    ReadOp,
+    WriteOp,
+    is_read_operation,
+    validate_operation,
+)
+from repro.runtime.composition import ComposedAutomaton
+from repro.runtime.kernel import (
+    FAST,
+    FAST_TRACED,
+    INSTRUMENTED,
+    align_replica_arenas,
+    execute_batch,
+)
+from repro.runtime.observers import OutputTracker
+from repro.runtime.simulator import Simulator, build_simulator, prebinding_disabled
+from repro.scenarios.spec import build_generator
+from repro.schedules.set_timely import SetTimelyGenerator
+from repro.types import AgreementInstance
+
+
+# ----------------------------------------------------------------------
+# Bind mechanics
+# ----------------------------------------------------------------------
+
+class TestBindMechanics:
+    def test_read_bind_interns_and_carries_the_slot(self):
+        registers = RegisterFile()
+        registers.declare(("Heartbeat", 2), initial=0, writer=2)
+        bound = ReadOp(("Heartbeat", 2)).bind(registers)
+        assert isinstance(bound, BoundReadOp)
+        assert bound.register == ("Heartbeat", 2)
+        assert bound.slot == registers.arena_view().slots[("Heartbeat", 2)]
+
+    def test_write_bind_carries_the_value_and_stays_assignable(self):
+        registers = RegisterFile()
+        bound = WriteOp(("x",), 7).bind(registers)
+        assert isinstance(bound, BoundWriteOp)
+        assert bound.value == 7
+        bound.value = 8  # the reusable-cell contract for prebound tables
+        assert bound.value == 8
+
+    def test_bind_on_undeclared_name_uses_declared_defaults_lazily(self):
+        registers = RegisterFile()
+        registers.declare(("owned",), initial=3, writer=1)
+        bound = ReadOp(("owned",)).bind(registers)
+        arena = registers.arena_view()
+        assert arena.values[bound.slot] == 3
+        assert arena.writers[bound.slot] == 1
+
+    def test_bind_before_declare_survives_redeclaration(self):
+        # Binding interns the slot; a later declare() resets the slot in
+        # place, so the bound op still addresses the declared register.
+        registers = RegisterFile()
+        bound = ReadOp(("late",)).bind(registers)
+        registers.declare(("late",), initial=41)
+        assert registers.arena_view().values[bound.slot] == 41
+
+    def test_validate_operation_accepts_bound_ops(self):
+        registers = RegisterFile()
+        read = ReadOp(("r",)).bind(registers)
+        write = WriteOp(("r",), 1).bind(registers)
+        assert validate_operation(read) is read
+        assert validate_operation(write) is write
+        assert is_read_operation(read) and not is_read_operation(write)
+
+    def test_unbound_ops_still_compare_by_value(self):
+        assert ReadOp("r") == ReadOp("r")
+        assert WriteOp("r", 1) == WriteOp("r", 1)
+        assert ReadOp("r") != ReadOp("s")
+        assert WriteOp("r", 1) != WriteOp("r", 2)
+        assert hash(ReadOp("r")) == hash(ReadOp("r"))
+
+
+# ----------------------------------------------------------------------
+# Prebind wiring
+# ----------------------------------------------------------------------
+
+class TestPrebindWiring:
+    def test_simulator_prebinds_automata_at_construction(self):
+        simulator = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        for pid in (1, 2):
+            assert simulator.automaton(pid)._bound_scratch is not None
+
+    def test_prebind_flag_and_context_manager_disable_binding(self):
+        bare = build_simulator(2, lambda pid: IdleAutomaton(pid, 2), prebind=False)
+        assert bare.automaton(1)._bound_scratch is None
+        with prebinding_disabled():
+            context = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        assert context.automaton(1)._bound_scratch is None
+        # The switch is scoped: construction outside the context binds again.
+        rebound = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        assert rebound.automaton(1)._bound_scratch is not None
+
+    def test_reused_automaton_is_unbound_when_prebinding_is_disabled(self):
+        # An automaton bound to simulator A's register file must not leak
+        # stale slots into simulator B when B asked for name-addressed
+        # dispatch: constructing B unbinds it.
+        automata = {pid: IdleAutomaton(pid, 2) for pid in (1, 2)}
+        first = Simulator(n=2, automata=automata)
+        assert automata[1]._bound_scratch is not None
+        second = Simulator(n=2, automata=automata, prebind=False)
+        assert automata[1]._bound_scratch is None
+        result = second.run_fast(Schedule(steps=(1, 2, 1), n=2))
+        assert result.steps_executed == 3
+        assert second.registers.peek(("idle-scratch", 1)) == 2
+        assert first.registers.total_writes() == 0  # nothing leaked into A
+
+    def test_reused_detector_is_unbound_when_prebinding_is_disabled(self):
+        automata = make_anti_omega_algorithm(n=3, t=1, k=1)
+        registers = RegisterFile()
+        KAntiOmegaAutomaton.declare_registers(registers, n=3, k=1)
+        Simulator(n=3, automata=automata, registers=registers)
+        assert automata[1]._heartbeat_write is not None
+        fresh = Simulator(n=3, automata=automata, prebind=False)
+        assert automata[1]._heartbeat_write is None
+        generator = automata[1].program(automata[1].context())
+        assert isinstance(generator.send(None), ReadOp)
+        assert fresh.registers.total_reads() == 0
+
+    def test_stale_binding_to_another_simulator_fails_loudly(self):
+        # Constructing a second simulator over the same automata rebinds
+        # their tables; the first simulator must refuse to start programs
+        # whose ops carry the other file's slots instead of silently
+        # aliasing registers.
+        automata = {pid: IdleAutomaton(pid, 2) for pid in (1, 2)}
+        first = Simulator(n=2, automata=automata)
+        second = Simulator(n=2, automata=automata)
+        with pytest.raises(SimulationError, match="pre-bound to a different"):
+            first.run_fast(Schedule(steps=(1,), n=2))
+        assert first.registers.total_writes() == 0  # nothing executed
+        # The currently bound simulator runs fine, and rebinding heals the
+        # first one.
+        second.run_fast(Schedule(steps=(1, 2), n=2))
+        for automaton in automata.values():
+            automaton.prebind(first.registers)
+            automaton._prebound_registers = first.registers
+        first.run_fast(Schedule(steps=(1, 2), n=2))
+        assert first.registers.total_writes() == 2
+
+    def test_trivial_agreement_interns_identical_namespaces_bound_and_unbound(self):
+        from repro.agreement.trivial import TrivialKSetAgreementAutomaton
+
+        def factory(pid):
+            return TrivialKSetAgreementAutomaton(
+                pid=pid, n=4, t=1, k=2, input_value=pid * 100
+            )
+
+        schedule = Schedule(steps=(1, 2, 3, 4) * 6, n=4)
+        bound_sim = build_simulator(4, factory)
+        unbound_sim = build_simulator(4, factory, prebind=False)
+        bound = bound_sim.run_fast(schedule)
+        unbound = unbound_sim.run_fast(schedule)
+        assert bound.outputs == unbound.outputs
+        assert sorted(map(repr, bound_sim.registers.names())) == sorted(
+            map(repr, unbound_sim.registers.names())
+        )
+        assert bound_sim.registers.snapshot_values() == unbound_sim.registers.snapshot_values()
+
+    def test_idle_automaton_runs_identically_bound_and_unbound(self):
+        schedule = Schedule(steps=(1, 2, 1, 1, 2) * 6, n=2)
+        bound_sim = build_simulator(2, lambda pid: IdleAutomaton(pid, 2))
+        unbound_sim = build_simulator(2, lambda pid: IdleAutomaton(pid, 2), prebind=False)
+        bound = bound_sim.run_fast(schedule)
+        unbound = unbound_sim.run_fast(schedule)
+        assert bound.steps_executed == unbound.steps_executed
+        assert bound_sim.registers.snapshot_values() == unbound_sim.registers.snapshot_values()
+        assert bound_sim.registers.total_writes() == unbound_sim.registers.total_writes()
+
+    def test_composition_forwards_prebind_to_components(self):
+        composed = ComposedAutomaton(
+            pid=1,
+            n=2,
+            components=[
+                ("a", IdleAutomaton(1, 2)),
+                ("b", IdleAutomaton(1, 2)),
+            ],
+        )
+        registers = RegisterFile()
+        composed.prebind(registers)
+        for _, component in composed._components:
+            assert component._bound_scratch is not None
+
+    def test_detector_yields_bound_ops_after_prebind(self):
+        registers = RegisterFile()
+        KAntiOmegaAutomaton.declare_registers(registers, n=3, k=1)
+        automaton = KAntiOmegaAutomaton(pid=1, n=3, t=1, k=1)
+        automaton.prebind(registers)
+        generator = automaton.program(automaton.context())
+        op = generator.send(None)
+        assert isinstance(op, BoundReadOp)
+
+    def test_step_api_executes_bound_ops_by_name(self):
+        def program(automaton, ctx):
+            read = ReadOp(("r",))
+            write = WriteOp(("r",), 0)
+            bound_read = None
+            bound_write = None
+            while True:
+                if bound_read is None:
+                    bound_read = automaton.bound_read
+                    bound_write = automaton.bound_write
+                value = yield bound_read
+                bound_write.value = (value or 0) + 1
+                yield bound_write
+
+        simulator = build_simulator(1, lambda pid: FunctionAutomaton(pid, 1, program))
+        automaton = simulator.automaton(1)
+        automaton.bound_read = ReadOp(("r",)).bind(simulator.registers)
+        automaton.bound_write = WriteOp(("r",), 0).bind(simulator.registers)
+        for _ in range(6):
+            simulator.step(1)
+        assert simulator.registers.peek(("r",)) == 3
+        assert simulator.registers.resolve(("r",)).read_count == 3
+
+
+class _OwnedWriterAutomaton(ProcessAutomaton):
+    """Prebinds a write to a register owned by process 1 — every other pid
+    must trip the single-writer check from the slot-dispatch fast path."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self._write = None
+
+    def prebind(self, registers):
+        self._write = WriteOp(("owned", 1), 0).bind(registers)
+
+    def program(self, ctx):
+        count = 0
+        while True:
+            count += 1
+            self._write.value = (self.pid, count)
+            yield self._write
+
+
+class TestBoundSingleWriterViolation:
+    def _simulator(self):
+        simulator = build_simulator(2, lambda pid: _OwnedWriterAutomaton(pid, 2))
+        simulator.registers.declare(("owned", 1), initial=0, writer=1)
+        return simulator
+
+    @pytest.mark.parametrize("policy", [INSTRUMENTED, FAST, FAST_TRACED], ids=lambda p: p.name)
+    def test_violation_raises_canonical_error_with_exact_accounting(self, policy):
+        simulator = self._simulator()
+        schedule = Schedule(steps=(1, 1, 2, 1), n=2)
+        with pytest.raises(RegisterError, match="owned by process 1"):
+            simulator.run_with_policy(schedule, policy)
+        assert simulator.step_index == 2
+        assert simulator.steps_taken(1) == 2 and simulator.steps_taken(2) == 0
+        assert simulator.registers.peek(("owned", 1)) == (1, 2)
+        assert simulator.registers.resolve(("owned", 1)).write_count == 2
+
+    def test_violation_in_batched_loop(self):
+        from repro.core.schedule import CompiledSchedule
+
+        simulator = self._simulator()
+        with pytest.raises(RegisterError, match="owned by process 1"):
+            execute_batch([simulator], CompiledSchedule(n=2, steps=[1, 1, 2, 1]))
+        assert simulator.step_index == 2
+        assert simulator.registers.peek(("owned", 1)) == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# Batched replicas: aligned arenas over one shared slot map
+# ----------------------------------------------------------------------
+
+class TestAlignedReplicaArenas:
+    def _replicas(self, count):
+        def factory(pid):
+            return KAntiOmegaAutomaton(pid=pid, n=3, t=1, k=1)
+
+        replicas = []
+        for _ in range(count):
+            registers = RegisterFile()
+            KAntiOmegaAutomaton.declare_registers(registers, n=3, k=1)
+            replicas.append(build_simulator(3, factory, registers=registers))
+        return replicas
+
+    def test_identical_replicas_share_one_slot_map(self):
+        replicas = self._replicas(3)
+        shared = align_replica_arenas(replicas)
+        assert shared is not None
+        for simulator in replicas:
+            assert simulator.registers.arena_view().slots == shared
+
+    def test_alignment_survives_batched_execution(self):
+        replicas = self._replicas(3)
+        generator = build_generator({"schedule": "round-robin", "n": 3})
+        execute_batch(replicas, generator.compile(120))
+        maps = [dict(sim.registers.arena_view().slots) for sim in replicas]
+        assert maps[0] == maps[1] == maps[2]
+        # Identical replicas over one schedule produce identical value columns.
+        columns = [list(sim.registers.arena_view().values) for sim in replicas]
+        assert columns[0] == columns[1] == columns[2]
+
+    def test_prefix_replicas_are_completed_to_the_canonical_map(self):
+        # One replica ran ahead and lazily interned extra registers; the
+        # others get the tail interned (with their own defaults) and align.
+        ahead, behind = self._replicas(2)
+        ahead.registers.resolve(("extra", 1))
+        ahead.registers.resolve(("extra", 2))
+        shared = align_replica_arenas([ahead, behind])
+        assert shared is not None
+        assert behind.registers.exists(("extra", 2))
+        assert behind.registers.arena_view().slots == shared
+
+    def test_divergent_interning_orders_fail_without_polluting_arenas(self):
+        left, right = self._replicas(2)
+        left.registers.resolve(("only", "left"))
+        right.registers.resolve(("only", "right"))
+        # Divergent orders cannot be renumbered into one map, and neither
+        # replica's namespace is touched in the attempt.
+        assert align_replica_arenas([left, right]) is None
+        assert not left.registers.exists(("only", "right"))
+        assert not right.registers.exists(("only", "left"))
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence sweeps (the bound/arena vs. dict contract)
+# ----------------------------------------------------------------------
+
+def _random_combination(rng):
+    """One random (family params, t, k, horizon) combination for the sweep."""
+    n = rng.randint(2, 5)
+    family = rng.choice(
+        ["round-robin", "random", "set-timely", "eventually-synchronous",
+         "carrier-rotation", "crash-churn", "alternating-epochs", "spliced-adversary"]
+    )
+    seed = rng.randint(0, 10_000)
+    params = {"schedule": family, "n": n, "seed": seed}
+    crashed = rng.sample(range(1, n + 1), rng.randint(0, max(n - 2, 0)))
+    if family == "set-timely":
+        correct = sorted(set(range(1, n + 1)) - set(crashed))
+        p_size = rng.randint(1, max(len(correct) - 1, 1))
+        params["p_set"] = correct[:p_size]
+        params["q_set"] = list(range(1, n + 1))
+        params["bound"] = rng.randint(2, 4)
+    elif family in ("carrier-rotation", "spliced-adversary"):
+        correct = sorted(set(range(1, n + 1)) - set(crashed))
+        params["carriers"] = correct[: rng.randint(1, len(correct))]
+    elif family == "crash-churn":
+        params["period"] = rng.randint(8, 64)
+        params["outage"] = rng.randint(0, params["period"])
+        params["churn"] = rng.randint(0, 2)
+    elif family == "alternating-epochs":
+        params["sync_epoch"] = rng.randint(4, 32)
+        params["async_epoch"] = rng.randint(4, 32)
+        params["epoch_growth"] = rng.choice([0, 0, 3])
+    params["crashes"] = crashed
+    t = rng.randint(1, n - 1)
+    k = rng.randint(1, n - 1)
+    horizon = rng.randint(60, 260)
+    return params, t, k, horizon
+
+
+def _detector_simulator(n, t, k, prebind):
+    registers = RegisterFile()
+    KAntiOmegaAutomaton.declare_registers(registers, n=n, k=k)
+    automata = make_anti_omega_algorithm(n=n, t=t, k=k)
+    simulator = Simulator(n=n, automata=automata, registers=registers, prebind=prebind)
+    fd_tracker, winner_tracker = make_detector_trackers()
+    simulator.add_observer(fd_tracker)
+    simulator.add_observer(winner_tracker)
+    return simulator, fd_tracker, winner_tracker
+
+
+def _observable_state(simulator, result, n):
+    return (
+        result.outputs,
+        result.steps_executed,
+        result.halted_processes,
+        simulator.registers.total_reads(),
+        simulator.registers.total_writes(),
+        [simulator.steps_taken(pid) for pid in range(1, n + 1)],
+    )
+
+
+class TestBoundVersusDictEquivalenceSweep:
+    def test_fifty_random_detector_scenarios_agree_across_dispatch_paths(self):
+        rng = random.Random(4202607)
+        combos = 0
+        while combos < 52:
+            params, t, k, horizon = _random_combination(rng)
+            generator = build_generator(params)
+            n = generator.n
+            compiled = build_generator(params).compile(horizon)
+            context = f"combo {combos}: {params!r} t={t} k={k} horizon={horizon}"
+
+            # Reference: name-addressed dict dispatch, instrumented policy.
+            dict_sim, dict_fd, dict_winner = _detector_simulator(n, t, k, prebind=False)
+            reference = dict_sim.run(compiled)
+            # Slot-bound dispatch through the bare loop.
+            bound_sim, bound_fd, bound_winner = _detector_simulator(n, t, k, prebind=True)
+            bound = bound_sim.run_fast(compiled)
+            # Slot-bound dispatch through the batched loop (two replicas).
+            batch_sims = []
+            batch_trackers = []
+            for _ in range(2):
+                simulator, fd_tracker, winner_tracker = _detector_simulator(
+                    n, t, k, prebind=True
+                )
+                batch_sims.append(simulator)
+                batch_trackers.append((fd_tracker, winner_tracker))
+            batch_results = execute_batch(batch_sims, compiled)
+
+            expected = _observable_state(dict_sim, reference, n)
+            assert _observable_state(bound_sim, bound, n) == expected, context
+            assert bound_fd.changes == dict_fd.changes, context
+            assert bound_winner.changes == dict_winner.changes, context
+            for simulator, result, (fd_tracker, winner_tracker) in zip(
+                batch_sims, batch_results, batch_trackers
+            ):
+                assert _observable_state(simulator, result, n) == expected, context
+                assert fd_tracker.changes == dict_fd.changes, context
+                assert winner_tracker.changes == dict_winner.changes, context
+            combos += 1
+
+    def test_agreement_stack_agrees_bound_and_unbound(self):
+        # The composed detector + agreement stack (prebind forwarded through
+        # the composition) against the dict path, over certified scenarios.
+        rng = random.Random(97531)
+        for _ in range(6):
+            n = rng.randint(3, 5)
+            t = rng.randint(2, n - 1)
+            k = rng.randint(1, t)
+            seed = rng.randint(0, 10_000)
+            max_steps = rng.randint(800, 1_600)
+            problem = AgreementInstance(t=t, k=k, n=n)
+
+            def report():
+                generator = SetTimelyGenerator(
+                    n=n,
+                    p_set=set(range(1, k + 1)),
+                    q_set=set(range(1, t + 2)),
+                    bound=3,
+                    seed=seed,
+                )
+                outcome = solve_agreement(
+                    problem, distinct_inputs(n), generator, max_steps=max_steps
+                )
+                return (
+                    outcome.decisions,
+                    outcome.steps_executed,
+                    outcome.verdict.satisfied,
+                    outcome.verdict.valid,
+                )
+
+            bound = report()
+            with prebinding_disabled():
+                unbound = report()
+            assert bound == unbound, f"n={n} t={t} k={k} seed={seed}"

@@ -125,9 +125,6 @@ class TestRunFastEquivalence:
     def test_operation_subclasses_execute_on_fast_path(self):
         # validate_operation accepts ReadOp/WriteOp subclasses, so the fast
         # path's exact-type fast branch must fall back to executing them.
-        from dataclasses import dataclass
-
-        @dataclass(frozen=True)
         class TaggedRead(ReadOp):
             pass
 
