@@ -81,6 +81,59 @@ class AgreementRunReport:
         return max(steps) if steps else None
 
 
+def build_agreement_algorithm(
+    problem: AgreementInstance,
+    inputs: Dict[ProcessId, Any],
+    accusation_statistic: AccusationStatistic = paper_accusation_statistic,
+    timeout_policy: TimeoutPolicy = paper_timeout_policy,
+) -> "tuple[RegisterFile, Dict[ProcessId, Any], str]":
+    """Construct the protocol for one instance: ``(registers, automata, name)``.
+
+    Picks the trivial algorithm for ``t < k`` and the Figure 2 detector
+    composed with the k-instance agreement layer otherwise, declaring the
+    detector's shared registers when used.  This is the construction step of
+    :func:`solve_agreement`, exposed separately so harnesses that drive their
+    own simulator (the adversarial schedule-search properties, benchmarks)
+    build byte-identical protocol stacks.
+    """
+    n = problem.n
+    registers = RegisterFile()
+    use_detector = problem.k <= problem.t
+    automata: Dict[ProcessId, Any] = {}
+    if use_detector:
+        KAntiOmegaAutomaton.declare_registers(registers, n=n, k=problem.k)
+        for pid in range(1, n + 1):
+            detector = KAntiOmegaAutomaton(
+                pid=pid,
+                n=n,
+                t=problem.t,
+                k=problem.k,
+                accusation_statistic=accusation_statistic,
+                timeout_policy=timeout_policy,
+            )
+            agreement = KSetFromAntiOmegaAutomaton(
+                pid=pid,
+                n=n,
+                t=problem.t,
+                k=problem.k,
+                input_value=inputs[pid],
+                detector=detector,
+            )
+            automata[pid] = ComposedAutomaton(
+                pid=pid,
+                n=n,
+                components=[("detector", detector), ("agreement", agreement)],
+            )
+        protocol = "figure2-anti-omega + k leader-gated consensus instances"
+    else:
+        for pid in range(1, n + 1):
+            automata[pid] = TrivialKSetAgreementAutomaton(
+                pid=pid, n=n, t=problem.t, k=problem.k, input_value=inputs[pid]
+            )
+        protocol = "trivial t<k algorithm"
+    return registers, automata, protocol
+
+
 def solve_agreement(
     problem: AgreementInstance,
     inputs: Dict[ProcessId, Any],
@@ -137,43 +190,13 @@ def solve_agreement(
         correct_set = process_set(correct)
         source = schedule
 
-    registers = RegisterFile()
     use_detector = problem.k <= problem.t
-    automata: Dict[ProcessId, Any] = {}
-    detectors: Dict[ProcessId, KAntiOmegaAutomaton] = {}
-
-    if use_detector:
-        KAntiOmegaAutomaton.declare_registers(registers, n=n, k=problem.k)
-        for pid in range(1, n + 1):
-            detector = KAntiOmegaAutomaton(
-                pid=pid,
-                n=n,
-                t=problem.t,
-                k=problem.k,
-                accusation_statistic=accusation_statistic,
-                timeout_policy=timeout_policy,
-            )
-            agreement = KSetFromAntiOmegaAutomaton(
-                pid=pid,
-                n=n,
-                t=problem.t,
-                k=problem.k,
-                input_value=inputs[pid],
-                detector=detector,
-            )
-            detectors[pid] = detector
-            automata[pid] = ComposedAutomaton(
-                pid=pid,
-                n=n,
-                components=[("detector", detector), ("agreement", agreement)],
-            )
-        protocol = "figure2-anti-omega + k leader-gated consensus instances"
-    else:
-        for pid in range(1, n + 1):
-            automata[pid] = TrivialKSetAgreementAutomaton(
-                pid=pid, n=n, t=problem.t, k=problem.k, input_value=inputs[pid]
-            )
-        protocol = "trivial t<k algorithm"
+    registers, automata, protocol = build_agreement_algorithm(
+        problem,
+        inputs,
+        accusation_statistic=accusation_statistic,
+        timeout_policy=timeout_policy,
+    )
 
     simulator = Simulator(n=n, automata=automata, registers=registers)
     decision_tracker = OutputTracker(key=DECISION)

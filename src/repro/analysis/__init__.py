@@ -6,6 +6,7 @@ from .experiment import (
     anti_omega_convergence_experiment,
     default_agreement_configs,
     default_detector_configs,
+    falsification_experiment,
     figure1_experiment,
     schedule_family_comparison_experiment,
     separation_experiment,
@@ -28,6 +29,7 @@ __all__ = [
     "anti_omega_convergence_experiment",
     "default_agreement_configs",
     "default_detector_configs",
+    "falsification_experiment",
     "figure1_experiment",
     "schedule_family_comparison_experiment",
     "separation_experiment",

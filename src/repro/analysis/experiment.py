@@ -1,4 +1,4 @@
-"""Experiment harness: one function per paper artifact (E1–E10, A1–A3).
+"""Experiment harness: one function per paper artifact (E1–E11, A1–A3).
 
 Every function returns ``(headers, rows)`` ready for
 :func:`repro.analysis.reporting.ascii_table`.  The benchmarks and the CLI call
@@ -575,6 +575,68 @@ def separation_statements_experiment(
                     solvable_ok and unsolvable_ok,
                 ]
             )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# E11 — adversarial schedule search (falsify → shrink → certify)
+# ----------------------------------------------------------------------
+
+def falsification_experiment(
+    properties: Sequence[str] = (
+        "k-anti-omega-convergence",
+        "leader-set-convergence",
+        "agreement-safety",
+    ),
+    generations: int = 5,
+    seed: int = 0,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Falsification attempts per property: the E11 table.
+
+    Each row runs one smoke-scale falsify → shrink → certify search
+    (:func:`repro.search.run_search`) against one registered property.  The
+    expected shape — the paper standing — is **0 in-model violations** on
+    every row, together with a reproducible out-of-model/near-miss frontier
+    (mutated schedules that destroy the certified timely set and drag the
+    detector's stabilization delay toward the horizon), whose shrunk minimal
+    reproducers are catalogued in ``docs/COUNTEREXAMPLES.md``.
+
+    Search generations execute as content-addressed campaign runs, so passing
+    a cached ``engine`` makes re-tabulations replay cached generations.
+    """
+    from ..search import SearchConfig, run_search
+
+    headers = [
+        "property",
+        "candidates",
+        "screen flags",
+        "confirmed violations",
+        "in-model violations",
+        "out-of-model",
+        "near misses",
+        "best fitness",
+        "min reproducer (steps)",
+    ]
+    rows: List[List[Any]] = []
+    for name in properties:
+        config = SearchConfig.smoke_config(name, generations=generations, seed=seed)
+        report = run_search(config, engine=engine)
+        in_model = report.in_model_violation_count()
+        out_of_model = len(report.violations(in_model=False))
+        rows.append(
+            [
+                name,
+                report.candidates_evaluated(),
+                sum(stats.screen_violations for stats in report.generations),
+                in_model + out_of_model,
+                in_model,
+                out_of_model,
+                len(report.near_misses()),
+                report.best_fitness(),
+                min((finding.shrunk_length for finding in report.findings), default=None),
+            ]
+        )
     return headers, rows
 
 

@@ -86,9 +86,22 @@ def available_kinds() -> List[str]:
     return sorted(_KINDS)
 
 
+#: Kinds registered by optional subsystems on import: when a worker process
+#: (or a fresh interpreter replaying a JSON-lines record) sees one of these
+#: before the owning module was imported, the kind function is resolved on
+#: demand from ``module:attribute`` and registered.
+_LAZY_KINDS = {"search-eval": ("repro.search.engine", "run_search_eval_kind")}
+
+
 def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     """Execute one run and return its payload (the worker-side entry point)."""
     function = _KINDS.get(spec.kind)
+    if function is None and spec.kind in _LAZY_KINDS:
+        import importlib
+
+        module_name, attribute = _LAZY_KINDS[spec.kind]
+        function = getattr(importlib.import_module(module_name), attribute)
+        register_kind(spec.kind, function)
     if function is None:
         raise ConfigurationError(
             f"unknown experiment kind {spec.kind!r}; registered: {available_kinds()}"

@@ -14,9 +14,12 @@ Usage (installed or from a checkout)::
     python -m repro scenarios                 # list composable scenario families
     python -m repro scenarios crash-churn     # E10: run the detector on one
     python -m repro campaign scenarios        # E10 as a campaign sweep
+    python -m repro search --smoke            # E11: falsify -> shrink -> certify
 
 Every command prints the same ASCII tables the benchmarks record, so the CLI
-is the quickest way to regenerate a single entry of EXPERIMENTS.md.
+is the quickest way to regenerate a single entry of EXPERIMENTS.md; every
+subcommand's ``--help`` epilog names the EXPERIMENTS.md section it
+regenerates.
 """
 
 from __future__ import annotations
@@ -61,10 +64,35 @@ EXPERIMENTS = {
     "ablation-timeout": "A2 — timeout growth policy ablation",
     "solve": "one end-to-end agreement run in the matching system",
     "scenarios": "list the composable scenario families, or run the detector on one",
+    "search": "E11 — adversarial schedule search: falsify → shrink → certify",
     "campaign": "run a named campaign through the parallel campaign engine",
     "report": "re-aggregate a campaign's JSON-lines record file into a table",
     "bench": "run the pinned perf benchmarks and write the BENCH_*.json trajectory",
 }
+
+#: The EXPERIMENTS.md section each subcommand regenerates (``--help`` epilogs).
+EXPERIMENTS_MD_SECTIONS = {
+    "list": "the artifact index (all sections)",
+    "figure1": "E1 — Figure 1: set timeliness without individual timeliness",
+    "detector": "E2 — Theorem 23: Figure 2 implements k-anti-Ω in S^k_{t+1,n}",
+    "agreement": "E3 — Theorem 24 / Corollary 25: (t,k,n)-agreement in S^k_{t+1,n}",
+    "separation": "E4 — Theorem 26: the separation, empirically",
+    "map": "E5 — Theorem 27: the exact solvability map",
+    "separations": "E5 — Theorem 27: the exact solvability map",
+    "ablation-accusation": "A1 — ablation: the accusation statistic",
+    "ablation-timeout": "A2 — ablation: the timeout growth policy",
+    "solve": "E3 — Theorem 24 / Corollary 25: (t,k,n)-agreement in S^k_{t+1,n}",
+    "scenarios": "E10 — the composable scenario families",
+    "search": "E11 — adversarial schedule search (falsify → shrink → certify)",
+    "campaign": "E1–E4, E10, A1–A2 (campaign forms) and 'Campaign engine speedup'",
+    "report": "Campaign engine speedup (JSON-lines record aggregation)",
+    "bench": "Performance trajectory",
+}
+
+
+def _epilog(command: str) -> str:
+    """The ``--help`` epilog naming a subcommand's EXPERIMENTS.md section."""
+    return f"Documented in EXPERIMENTS.md, section: {EXPERIMENTS_MD_SECTIONS[command]}"
 
 #: Campaigns runnable via ``repro campaign <name>``, with one-line descriptions.
 CAMPAIGNS = {
@@ -91,34 +119,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command")
 
-    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser(
+        "list", help="list available experiments", epilog=_epilog("list")
+    )
 
-    figure1 = subparsers.add_parser("figure1", help=EXPERIMENTS["figure1"])
+    figure1 = subparsers.add_parser(
+        "figure1", help=EXPERIMENTS["figure1"], epilog=_epilog("figure1")
+    )
     figure1.add_argument("--blocks", type=int, nargs="+", default=[2, 4, 8, 16, 32])
 
-    detector = subparsers.add_parser("detector", help=EXPERIMENTS["detector"])
+    detector = subparsers.add_parser(
+        "detector", help=EXPERIMENTS["detector"], epilog=_epilog("detector")
+    )
     detector.add_argument("--horizon", type=int, default=60_000)
 
-    agreement = subparsers.add_parser("agreement", help=EXPERIMENTS["agreement"])
+    agreement = subparsers.add_parser(
+        "agreement", help=EXPERIMENTS["agreement"], epilog=_epilog("agreement")
+    )
     agreement.add_argument("--horizon", type=int, default=600_000)
 
-    separation = subparsers.add_parser("separation", help=EXPERIMENTS["separation"])
+    separation = subparsers.add_parser(
+        "separation", help=EXPERIMENTS["separation"], epilog=_epilog("separation")
+    )
     separation.add_argument("--k", type=int, default=2)
     separation.add_argument("--horizons", type=int, nargs="+", default=[40_000, 80_000, 160_000])
 
-    grid = subparsers.add_parser("map", help=EXPERIMENTS["map"])
+    grid = subparsers.add_parser("map", help=EXPERIMENTS["map"], epilog=_epilog("map"))
     grid.add_argument("--t", type=int, required=True)
     grid.add_argument("--k", type=int, required=True)
     grid.add_argument("--n", type=int, required=True)
 
-    subparsers.add_parser("separations", help=EXPERIMENTS["separations"])
-    subparsers.add_parser("ablation-accusation", help=EXPERIMENTS["ablation-accusation"])
+    subparsers.add_parser(
+        "separations", help=EXPERIMENTS["separations"], epilog=_epilog("separations")
+    )
+    subparsers.add_parser(
+        "ablation-accusation",
+        help=EXPERIMENTS["ablation-accusation"],
+        epilog=_epilog("ablation-accusation"),
+    )
 
-    ablation_timeout = subparsers.add_parser("ablation-timeout", help=EXPERIMENTS["ablation-timeout"])
+    ablation_timeout = subparsers.add_parser(
+        "ablation-timeout",
+        help=EXPERIMENTS["ablation-timeout"],
+        epilog=_epilog("ablation-timeout"),
+    )
     ablation_timeout.add_argument("--horizon", type=int, default=200_000)
     ablation_timeout.add_argument("--bound", type=int, default=400)
 
-    scenarios = subparsers.add_parser("scenarios", help=EXPERIMENTS["scenarios"])
+    scenarios = subparsers.add_parser(
+        "scenarios", help=EXPERIMENTS["scenarios"], epilog=_epilog("scenarios")
+    )
     scenarios.add_argument(
         "family", nargs="?", default=None, help="scenario family to run (omit to list them)"
     )
@@ -149,14 +199,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrap the scenario in a perturbation (noise or stutter; repeatable)",
     )
 
-    solve = subparsers.add_parser("solve", help=EXPERIMENTS["solve"])
+    solve = subparsers.add_parser("solve", help=EXPERIMENTS["solve"], epilog=_epilog("solve"))
     solve.add_argument("--t", type=int, required=True)
     solve.add_argument("--k", type=int, required=True)
     solve.add_argument("--n", type=int, required=True)
     solve.add_argument("--seed", type=int, default=7)
     solve.add_argument("--max-steps", type=int, default=400_000)
 
-    campaign = subparsers.add_parser("campaign", help=EXPERIMENTS["campaign"])
+    search = subparsers.add_parser(
+        "search", help=EXPERIMENTS["search"], epilog=_epilog("search")
+    )
+    search.add_argument(
+        "--property",
+        default=None,
+        help="registered property to falsify (default: k-anti-omega-convergence; "
+        "see --list-properties)",
+    )
+    search.add_argument(
+        "--list-properties",
+        action="store_true",
+        help="list the registered falsifiable properties and exit",
+    )
+    search.add_argument(
+        "--table",
+        action="store_true",
+        help="run the full E11 sweep (every property, smoke scale) and print its table",
+    )
+    search.add_argument("--generations", type=int, default=None, help="search generations")
+    search.add_argument("--population", type=int, default=None, help="candidates per generation")
+    search.add_argument("--horizon", type=int, default=None, help="steps per candidate schedule")
+    search.add_argument(
+        "--checkpoints", type=int, default=None, help="bare-kernel snapshots per candidate"
+    )
+    search.add_argument("--seed", type=int, default=0, help="root seed of the per-generation RNG streams")
+    search.add_argument("--n", type=int, default=None, help="system size Πn (default 4)")
+    search.add_argument("--t", type=int, default=None, help="crash budget of the model (default 2)")
+    search.add_argument(
+        "--k", type=int, default=None, help="detector degree / agreement parameter (default 2)"
+    )
+    search.add_argument(
+        "--fitness",
+        default=None,
+        choices=("stabilization-delay", "timeliness-bound"),
+        help="violation-proximity signal the search maximizes "
+        "(default: stabilization-delay)",
+    )
+    search.add_argument(
+        "--near-miss-threshold",
+        type=float,
+        default=None,
+        help="fitness at which a candidate is flagged, confirmed and certified",
+    )
+    search.add_argument(
+        "--certify-bound",
+        type=int,
+        default=None,
+        help="timeliness bound for S^k_{t+1,n} membership (default: 4x the seed bound)",
+    )
+    search.add_argument("--top", type=int, default=None, help="findings to shrink and report")
+    search.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small deterministic configuration (what CI and the E11 table run)",
+    )
+    search.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
+    search.add_argument("--jsonl", type=str, default=None, help="write per-candidate records here")
+    search.add_argument(
+        "--cache-dir", type=str, default=None, help="content-addressed generation cache"
+    )
+
+    campaign = subparsers.add_parser(
+        "campaign", help=EXPERIMENTS["campaign"], epilog=_epilog("campaign")
+    )
     campaign.add_argument("name", choices=sorted(CAMPAIGNS), help="campaign to run")
     campaign.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
     campaign.add_argument("--horizon", type=int, default=None, help="override the step horizon")
@@ -174,10 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cache-dir", type=str, default=None, help="content-addressed result cache")
     campaign.add_argument("--chunk-size", type=int, default=None, help="runs per dispatched task")
 
-    report = subparsers.add_parser("report", help=EXPERIMENTS["report"])
+    report = subparsers.add_parser(
+        "report", help=EXPERIMENTS["report"], epilog=_epilog("report")
+    )
     report.add_argument("--jsonl", type=str, required=True, help="record file to aggregate")
 
-    bench = subparsers.add_parser("bench", help=EXPERIMENTS["bench"])
+    bench = subparsers.add_parser("bench", help=EXPERIMENTS["bench"], epilog=_epilog("bench"))
     bench.add_argument(
         "--smoke",
         action="store_true",
@@ -350,6 +466,99 @@ def _run_scenarios(args: argparse.Namespace) -> List[str]:
             ],
             title=f"k-anti-Ω on this scenario (horizon {args.horizon})",
         )
+    )
+    return lines
+
+
+def _run_search(args: argparse.Namespace) -> List[str]:
+    from .search import (
+        SearchConfig,
+        available_properties,
+        property_descriptions,
+        run_search,
+        search_report_lines,
+    )
+
+    if args.list_properties:
+        lines = ["falsifiable properties (run with `repro search --property <name>`):"]
+        for name, description in property_descriptions().items():
+            lines.append(f"  {name:<28} {description}")
+        return lines
+
+    engine_kwargs: Dict[str, Any] = {"workers": args.workers}
+    if args.cache_dir:
+        engine_kwargs["cache"] = ResultCache(args.cache_dir)
+
+    if args.table:
+        # The table is the fixed E11 sweep (every property at smoke scale):
+        # single-search flags would be silently meaningless, so reject them.
+        ignored = [
+            flag
+            for flag, value in (
+                ("--property", args.property),
+                ("--population", args.population),
+                ("--horizon", args.horizon),
+                ("--checkpoints", args.checkpoints),
+                ("--n", args.n),
+                ("--t", args.t),
+                ("--k", args.k),
+                ("--fitness", args.fitness),
+                ("--near-miss-threshold", args.near_miss_threshold),
+                ("--certify-bound", args.certify_bound),
+                ("--top", args.top),
+                ("--jsonl", args.jsonl),
+            )
+            if value is not None
+        ] + (["--smoke"] if args.smoke else [])
+        if ignored:
+            raise SystemExit(
+                f"--table runs the fixed E11 sweep and does not accept {', '.join(ignored)}; "
+                "drop --table to configure a single search (--generations, --seed, "
+                "--workers and --cache-dir work with both)"
+            )
+        from .analysis.experiment import falsification_experiment
+
+        with CampaignEngine(**engine_kwargs) as engine:
+            headers, rows = falsification_experiment(
+                generations=args.generations if args.generations is not None else 5,
+                seed=args.seed,
+                engine=engine,
+            )
+        return [ascii_table(headers, rows, title=EXPERIMENTS["search"])]
+
+    chosen_property = args.property or "k-anti-omega-convergence"
+    if chosen_property not in available_properties():
+        raise SystemExit(
+            f"unknown property {chosen_property!r}; registered: {available_properties()}"
+        )
+
+    overrides: Dict[str, Any] = {
+        "seed": args.seed,
+        "n": args.n if args.n is not None else 4,
+        "t": args.t if args.t is not None else 2,
+        "k": args.k if args.k is not None else 2,
+        "fitness": args.fitness or "stabilization-delay",
+    }
+    for key in ("generations", "population", "horizon", "checkpoints", "top"):
+        value = getattr(args, key)
+        if value is not None:
+            overrides[key] = value
+    if args.near_miss_threshold is not None:
+        overrides["near_miss_threshold"] = args.near_miss_threshold
+    if args.certify_bound is not None:
+        overrides["certify_bound"] = args.certify_bound
+    if args.smoke:
+        config = SearchConfig.smoke_config(chosen_property, **overrides)
+    else:
+        config = SearchConfig(property=chosen_property, **overrides)
+
+    with CampaignEngine(**engine_kwargs) as engine:
+        report = run_search(config, engine=engine, jsonl_path=args.jsonl)
+    lines = search_report_lines(report)
+    lines.append(
+        f"workers={args.workers}"
+        + (f", records -> {args.jsonl}" if args.jsonl else "")
+        + (f", cache -> {args.cache_dir}" if args.cache_dir else "")
     )
     return lines
 
@@ -595,6 +804,8 @@ def run(argv: Optional[Sequence[str]] = None) -> List[str]:
         return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-timeout"])]
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "search":
+        return _run_search(args)
     if args.command == "solve":
         return _run_solve(args.t, args.k, args.n, args.seed, args.max_steps)
     if args.command == "campaign":

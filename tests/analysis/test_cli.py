@@ -172,3 +172,81 @@ class TestScenariosCampaign:
         assert "scenario family" in output
         assert "crash-recovery churn" in output
         assert "spliced adversarial suffix" in output
+
+
+class TestEpilogs:
+    def test_every_subcommand_epilog_names_its_experiments_md_section(self):
+        # The satellite audit: every subcommand's --help must point at the
+        # EXPERIMENTS.md section it regenerates.
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert set(subparsers.choices), "no subcommands registered"
+        for name, subparser in subparsers.choices.items():
+            assert subparser.epilog, f"subcommand {name!r} has no --help epilog"
+            assert "EXPERIMENTS.md" in subparser.epilog, (
+                f"subcommand {name!r} epilog does not name its EXPERIMENTS.md section"
+            )
+            assert "EXPERIMENTS.md" in subparser.format_help()
+
+
+class TestSearchCommand:
+    def test_list_properties(self):
+        lines = run(["search", "--list-properties"])
+        output = "\n".join(lines)
+        for name in ("k-anti-omega-convergence", "leader-set-convergence", "agreement-safety"):
+            assert name in output
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["search", "--property", "no-such-claim", "--smoke"])
+
+    def test_smoke_search_reports_no_in_model_violations(self):
+        lines = run(["search", "--smoke", "--generations", "2", "--seed", "3"])
+        output = "\n".join(lines)
+        assert "in-model violations: 0" in output
+        assert "falsification attempts against k-anti-omega-convergence" in output
+
+    def test_smoke_search_emits_a_regenerable_shrunk_finding(self):
+        # The acceptance-criterion invocation, minus three generations for
+        # speed: the full five-generation run is pinned by tests/search.
+        lines = run(["search", "--property", "k-anti-omega-convergence",
+                     "--generations", "3", "--smoke"])
+        output = "\n".join(lines)
+        assert "finding 1 [" in output
+        assert "regenerate: repro search --property k-anti-omega-convergence" in output
+
+    def test_search_jsonl_records(self, tmp_path):
+        import json
+
+        path = tmp_path / "search.jsonl"
+        run(["search", "--smoke", "--generations", "2", "--jsonl", str(path)])
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(record["record"] == "candidate" for record in records)
+
+    def test_e11_table(self):
+        lines = run(["search", "--table", "--generations", "2"])
+        output = "\n".join(lines)
+        assert "E11" in output
+        assert "in-model violations" in output
+        assert "agreement-safety" in output
+
+    def test_table_rejects_single_search_flags(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["search", "--table", "--jsonl", "out.jsonl"])
+        assert "--jsonl" in str(excinfo.value)
+        with pytest.raises(SystemExit):
+            run(["search", "--table", "--property", "agreement-safety"])
+        with pytest.raises(SystemExit):
+            run(["search", "--table", "--smoke"])
+
+    def test_degenerate_horizon_rejected_cleanly(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run(["search", "--horizon", "1", "--generations", "2"])

@@ -1,0 +1,42 @@
+"""Tier-1 mirrors of the CI documentation gates.
+
+CI runs ``python -m doctest docs/GUIDE.md`` and
+``python tools/docstring_gate.py src/repro/search`` as separate workflow
+steps; these tests run the same checks from the test suite so a failure is
+caught locally before any push.
+"""
+
+import doctest
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_guide_doctests_pass():
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "GUIDE.md"), module_relative=False, verbose=False
+    )
+    assert results.attempted > 10, "GUIDE.md lost its executable examples"
+    assert results.failed == 0
+
+
+def test_search_subsystem_docstring_coverage():
+    spec = importlib.util.spec_from_file_location(
+        "docstring_gate", REPO_ROOT / "tools" / "docstring_gate.py"
+    )
+    gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gate)
+    missing = gate.check([REPO_ROOT / "src" / "repro" / "search"])
+    formatted = "\n".join(
+        f"{path}:{line}: {kind} {name}" for path, line, kind, name in missing
+    )
+    assert not missing, f"undocumented public definitions:\n{formatted}"
+
+
+def test_counterexample_atlas_names_regenerating_commands():
+    atlas = (REPO_ROOT / "docs" / "COUNTEREXAMPLES.md").read_text(encoding="utf-8")
+    # Every atlas entry must carry the exact command that regenerates it.
+    assert atlas.count("repro search --property") >= 2
+    assert "out of model" in atlas
+    assert "in-model" in atlas

@@ -1,0 +1,167 @@
+"""Tests for candidate recipes and mutation directives."""
+
+import random
+from array import array
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import build_generator
+from repro.search import (
+    MUTATION_OPS,
+    apply_mutation,
+    describe_recipe,
+    make_recipe,
+    mutate_recipe,
+    realize,
+    recipe_signature,
+    sample_mutation,
+)
+
+BASE = {
+    "schedule": "set-timely",
+    "n": 4,
+    "t": 2,
+    "k": 2,
+    "p_set": [1, 2],
+    "q_set": [1, 2, 3],
+    "bound": 3,
+    "seed": 7,
+}
+
+
+class TestRealize:
+    def test_no_mutations_matches_generator_compile(self):
+        recipe = make_recipe(BASE, 600)
+        compiled = realize(recipe)
+        direct = build_generator(BASE).compile(600)
+        assert compiled.steps == direct.steps
+        assert compiled.crash_steps == direct.crash_steps
+
+    def test_deterministic(self):
+        recipe = make_recipe(
+            BASE, 600, [{"op": "burst", "pid": 4, "start": 100, "length": 80}]
+        )
+        first = realize(recipe)
+        second = realize(recipe)
+        assert first.steps == second.steps
+        assert first.crash_steps == second.crash_steps
+
+    def test_burst_overwrites_window(self):
+        recipe = make_recipe(
+            BASE, 400, [{"op": "burst", "pid": 4, "start": 50, "length": 30}]
+        )
+        steps = list(realize(recipe).steps)
+        assert steps[50:80] == [4] * 30
+        baseline = list(realize(make_recipe(BASE, 400)).steps)
+        assert steps[:50] == baseline[:50]
+        assert steps[80:] == baseline[80:]
+
+    def test_silence_replaces_silenced_pids_in_window(self):
+        recipe = make_recipe(
+            BASE, 400, [{"op": "silence", "pids": [1, 2], "start": 100, "length": 200}]
+        )
+        steps = list(realize(recipe).steps)
+        assert all(pid not in (1, 2) for pid in steps[100:300])
+        # Length and universe preserved.
+        assert len(steps) == 400
+        assert all(1 <= pid <= 4 for pid in steps)
+
+    def test_crash_records_metadata_and_buffer_is_consistent(self):
+        recipe = make_recipe(BASE, 400, [{"op": "crash", "pid": 3, "at": 120}])
+        compiled = realize(recipe)
+        assert compiled.crash_steps[3] == 120
+        assert all(pid != 3 for pid in list(compiled.steps)[120:])
+        assert 3 in compiled.faulty
+
+    def test_crash_consistency_enforced_after_resurrecting_burst(self):
+        # The burst would schedule the crashed process after its crash step;
+        # realize() must re-enforce the metadata invariant.
+        recipe = make_recipe(
+            BASE,
+            400,
+            [
+                {"op": "crash", "pid": 3, "at": 100},
+                {"op": "burst", "pid": 3, "start": 200, "length": 50},
+            ],
+        )
+        compiled = realize(recipe)
+        assert all(pid != 3 for pid in list(compiled.steps)[100:])
+
+    def test_crash_never_kills_the_last_process(self):
+        mutations = [{"op": "crash", "pid": pid, "at": 0} for pid in (1, 2, 3, 4)]
+        compiled = realize(make_recipe(BASE, 200, mutations))
+        assert len(compiled.faulty) == 3  # the fourth crash is refused
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            realize(make_recipe(BASE, 100, [{"op": "teleport"}]))
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_recipe(BASE, 0)
+
+    def test_rotate_and_swap_preserve_step_multiset(self):
+        baseline = sorted(realize(make_recipe(BASE, 300)).steps)
+        for directive in (
+            {"op": "rotate", "offset": 97},
+            {"op": "swap", "first": 10, "second": 200, "length": 40},
+        ):
+            mutated = realize(make_recipe(BASE, 300, [directive]))
+            assert sorted(mutated.steps) == baseline
+
+    def test_signature_ignores_key_order(self):
+        a = recipe_signature({"base": dict(BASE), "horizon": 100, "mutations": []})
+        b = recipe_signature({"mutations": [], "horizon": 100, "base": dict(BASE)})
+        assert a == b
+
+    def test_describe_names_family_and_ops(self):
+        recipe = make_recipe(BASE, 100, [{"op": "rotate", "offset": 3}])
+        description = describe_recipe(recipe)
+        assert "set-timely" in description
+        assert "rotate" in description
+
+
+class TestSampling:
+    def test_sample_mutation_deterministic_for_fixed_seed(self):
+        first = [sample_mutation(random.Random(5), 4, 1000, [1, 2]) for _ in range(1)]
+        second = [sample_mutation(random.Random(5), 4, 1000, [1, 2]) for _ in range(1)]
+        assert first == second
+
+    def test_sampled_directives_always_realize(self):
+        rng = random.Random(11)
+        recipe = make_recipe(BASE, 500)
+        for _ in range(40):
+            recipe = mutate_recipe(recipe, rng, 4, extra=1, focus_pids=[1, 2])
+        compiled = realize(recipe)
+        assert len(compiled) == 500
+        assert all(1 <= pid <= 4 for pid in compiled.steps)
+
+    def test_sampled_ops_come_from_the_registry(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            directive = sample_mutation(rng, 4, 800)
+            assert directive["op"] in MUTATION_OPS
+
+    def test_mutate_recipe_appends_without_touching_the_parent(self):
+        parent = make_recipe(BASE, 200)
+        child = mutate_recipe(parent, random.Random(1), 4, extra=2)
+        assert len(child["mutations"]) == 2
+        assert parent["mutations"] == []
+
+
+class TestApplyMutation:
+    def test_silence_of_everyone_is_a_noop(self):
+        steps = [1, 2, 3, 4] * 10
+        before = list(steps)
+        apply_mutation(steps, {}, 4, {"op": "silence", "pids": [1, 2, 3, 4], "start": 0, "length": 40})
+        assert steps == before
+
+    def test_windows_are_clamped_into_the_buffer(self):
+        steps = [1, 2, 3, 4]
+        apply_mutation(steps, {}, 4, {"op": "burst", "pid": 2, "start": 999, "length": 50})
+        assert steps[-1] == 2
+
+    def test_burst_outside_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_mutation([1, 2], {}, 2, {"op": "burst", "pid": 9, "start": 0, "length": 1})

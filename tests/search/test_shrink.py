@@ -1,0 +1,167 @@
+"""Shrinker invariants: still failing, prefix-consistent, deterministic."""
+
+import random
+from array import array
+
+import pytest
+
+from repro.core.schedule import CompiledSchedule
+from repro.errors import ConfigurationError
+from repro.search import (
+    make_recipe,
+    make_property,
+    realize,
+    rebuild_candidate,
+    shrink_schedule,
+)
+
+IN_MODEL = {
+    "schedule": "set-timely",
+    "n": 4,
+    "t": 2,
+    "k": 2,
+    "p_set": [1, 2],
+    "q_set": [1, 2, 3],
+    "bound": 3,
+    "seed": 0,
+}
+
+
+def random_compiled(n=4, length=240, seed=9, crash_steps=None):
+    rng = random.Random(seed)
+    return CompiledSchedule(
+        n=n,
+        steps=array("i", [rng.randint(1, n) for _ in range(length)]),
+        crash_steps=crash_steps or {},
+    )
+
+
+def count_of(compiled, pid):
+    return sum(1 for step in compiled.steps if step == pid)
+
+
+class TestDdminCore:
+    def test_minimizes_to_the_predicate_core(self):
+        compiled = random_compiled()
+        result = shrink_schedule(
+            compiled, lambda c: count_of(c, 1) >= 5, max_evaluations=2000
+        )
+        # The minimal schedule satisfying "at least five steps of process 1"
+        # is exactly five steps, all of process 1.
+        assert result.shrunk_length == 5
+        assert all(pid == 1 for pid in result.schedule.steps)
+        assert result.original_length == 240
+        assert result.removed_steps == 235
+
+    def test_shrunk_schedule_still_fails_the_same_property(self):
+        # Alternating silences keep the detector churning past mid-horizon, so
+        # the near-miss predicate (stabilization-delay fitness at threshold
+        # 0.5 with every correct process producing output) holds — and must
+        # keep holding on the minimal reproducer.
+        compiled = realize(
+            make_recipe(
+                IN_MODEL,
+                1200,
+                [
+                    {"op": "silence", "pids": [1, 2], "start": 200, "length": 250},
+                    {"op": "silence", "pids": [3, 4], "start": 500, "length": 300},
+                    {"op": "silence", "pids": [1, 2], "start": 850, "length": 350},
+                ],
+            )
+        )
+        prop = make_property("k-anti-omega-convergence", {"n": 4, "t": 2, "k": 2})
+
+        def predicate(candidate):
+            verdict = prop.screen(candidate, 6)
+            return verdict.fitness >= 0.5 and verdict.details["all_correct_produced"]
+
+        assert predicate(compiled)
+        result = shrink_schedule(compiled, predicate, max_evaluations=80)
+        assert predicate(result.schedule)
+        assert result.shrunk_length <= result.original_length
+
+    def test_rejects_an_input_that_does_not_fail(self):
+        with pytest.raises(ConfigurationError):
+            shrink_schedule(random_compiled(), lambda c: False)
+
+    def test_respects_the_evaluation_budget(self):
+        calls = 0
+
+        def predicate(candidate):
+            nonlocal calls
+            calls += 1
+            return count_of(candidate, 1) >= 3
+
+        shrink_schedule(random_compiled(), predicate, max_evaluations=17)
+        assert calls <= 17
+
+
+class TestPrefixConsistency:
+    def test_crash_metadata_never_contradicts_the_buffer(self):
+        compiled = realize(
+            make_recipe(IN_MODEL, 600, [{"op": "crash", "pid": 3, "at": 150}])
+        )
+        result = shrink_schedule(
+            compiled, lambda c: count_of(c, 1) >= 4, max_evaluations=500
+        )
+        shrunk = result.schedule
+        steps = list(shrunk.steps)
+        for pid, crash_at in shrunk.crash_steps.items():
+            assert all(step != pid for step in steps[crash_at:])
+        # The prefix constructor must accept it (faulty hint consistency).
+        prefix = shrunk.prefix()
+        assert prefix.n == shrunk.n
+
+    def test_faulty_set_preserved_unless_a_crash_is_dropped(self):
+        compiled = random_compiled(crash_steps={3: 0})
+        result = shrink_schedule(
+            compiled,
+            lambda c: count_of(c, 1) >= 3 and 3 in c.faulty,
+            max_evaluations=800,
+        )
+        assert result.schedule.faulty == frozenset({3})
+        assert result.removed_crashes == 0
+
+    def test_droppable_crashes_are_dropped(self):
+        compiled = random_compiled(crash_steps={3: 0, 4: 0})
+        result = shrink_schedule(
+            compiled, lambda c: count_of(c, 1) >= 3, max_evaluations=800
+        )
+        # Neither crash matters to the predicate, so the shrinker removes both.
+        assert result.schedule.faulty == frozenset()
+        assert result.removed_crashes == 2
+
+
+class TestDeterminism:
+    def test_same_input_same_minimal_reproducer(self):
+        compiled = realize(
+            make_recipe(
+                IN_MODEL,
+                800,
+                [
+                    {"op": "burst", "pid": 4, "start": 200, "length": 300},
+                    {"op": "crash", "pid": 3, "at": 400},
+                ],
+            )
+        )
+
+        def predicate(candidate):
+            return count_of(candidate, 4) >= 10
+
+        first = shrink_schedule(compiled, predicate, max_evaluations=300)
+        second = shrink_schedule(compiled, predicate, max_evaluations=300)
+        assert list(first.schedule.steps) == list(second.schedule.steps)
+        assert first.schedule.crash_steps == second.schedule.crash_steps
+        assert first.evaluations == second.evaluations
+        assert first.summary() == second.summary()
+
+
+class TestRebuildCandidate:
+    def test_crash_indices_recomputed_from_last_occurrence(self):
+        candidate = rebuild_candidate(4, [1, 3, 2, 3, 1], [3], "test")
+        assert candidate.crash_steps == {3: 4}
+
+    def test_absent_faulty_process_crashes_at_zero(self):
+        candidate = rebuild_candidate(4, [1, 2, 1], [3], "test")
+        assert candidate.crash_steps == {3: 0}
+        assert candidate.faulty == frozenset({3})
