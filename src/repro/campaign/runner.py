@@ -151,7 +151,17 @@ __all__ = [
 #: Everything else — including keys a family builder ignores — is part of the
 #: schedule identity, which can only merge runs that truly share a scenario.
 _EXPERIMENT_KEYS = frozenset(
-    {"t", "k", "horizon", "statistic", "policy", "prefix_length", "count_size", "count_bound"}
+    {
+        "t",
+        "k",
+        "horizon",
+        "statistic",
+        "policy",
+        "prefix_length",
+        "count_size",
+        "count_bound",
+        "backend",
+    }
 )
 
 #: Worker-local compiled-schedule memo (LRU, content-addressed).
@@ -238,6 +248,10 @@ def _detector_report(params: Dict[str, Any]):
         timeout_policy=policy,
         fast=True,
         schedule=compiled,
+        # An execution-engine selector, not a schedule parameter: the backend
+        # conformance contract pins the payload byte-identical across values,
+        # so it rides in _EXPERIMENT_KEYS and compiled buffers stay shared.
+        backend=params.get("backend", "python"),
     )
     return generator, compiled, report
 

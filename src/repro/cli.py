@@ -47,6 +47,7 @@ from .analysis.reporting import ascii_table, render_solvability_grid
 from .campaign import CampaignEngine, CampaignSpec, ResultCache, read_jsonl
 from .campaign.records import record_columns
 from .core.solvability import matching_system, solvable_frontier
+from .errors import ConfigurationError
 from .scenarios import build_generator as build_scenario_generator
 from .scenarios import family_descriptions
 from .schedules.set_timely import SetTimelyGenerator
@@ -329,6 +330,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-measure only this kernel workload (repeatable; e.g. floor, "
         "fresh-ops, bound-ops). Skips the campaign suite and writes no "
         "trajectory files — an interactive filter, not a baseline refresh",
+    )
+    bench.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="measure this execution backend in the kernel suite (repeatable; "
+        "python, vector). Default: python plus vector when numpy is "
+        "installed; naming vector explicitly without numpy is an error",
     )
 
     return parser
@@ -667,7 +677,9 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
                 "--workload measures a partial suite; run a full `repro bench "
                 "--check` for the regression gate"
             )
-        kernel_doc = bench_kernel(smoke=args.smoke, workloads=args.workload)
+        kernel_doc = bench_kernel(
+            smoke=args.smoke, workloads=args.workload, backends=args.backend
+        )
         lines = [
             f"kernel workload re-measurement ({'smoke' if args.smoke else 'full'} mode):"
         ]
@@ -684,13 +696,20 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
                 f"    headline (batched vs. per-run fast): "
                 f"{cases['headline']['batched_vs_fast_stream']}x"
             )
+            if "vector_vs_fast_stream" in cases["headline"]:
+                lines.append(
+                    f"    headline (vector vs. per-run fast):  "
+                    f"{cases['headline']['vector_vs_fast_stream']}x"
+                )
         return lines
 
     # Load the baseline before measuring: with --out and --check both
     # pointing at the repo root, writing first would overwrite the committed
     # baseline and turn the regression check into a self-comparison.
     baseline = load_trajectory(args.check) if args.check is not None else None
-    kernel_doc, campaign_doc, paths = write_trajectory(args.out, smoke=args.smoke)
+    kernel_doc, campaign_doc, paths = write_trajectory(
+        args.out, smoke=args.smoke, backends=args.backend
+    )
     lines = [
         f"benchmark trajectory ({'smoke' if args.smoke else 'full'} mode):",
         *(f"  wrote {path}" for path in paths),
@@ -698,11 +717,20 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
         f"{kernel_doc['headline']['batched_vs_fast_stream']}x",
         f"  kernel headline   (fresh-ops: bare batched vs. per-run fast): "
         f"{kernel_doc['headline']['fresh_ops_batched_vs_fast_stream']}x",
-        f"  campaign headline (batched vs. streamed engine):              "
-        f"{campaign_doc['headline']['batched_vs_stream']}x",
-        f"  campaign payloads identical across paths:                     "
-        f"{campaign_doc['payloads_identical']}",
     ]
+    if "vector_vs_fast_stream" in kernel_doc["headline"]:
+        lines.append(
+            f"  kernel headline   (floor: vector column vs. per-run fast):    "
+            f"{kernel_doc['headline']['vector_vs_fast_stream']}x"
+        )
+    lines.extend(
+        [
+            f"  campaign headline (batched vs. streamed engine):              "
+            f"{campaign_doc['headline']['batched_vs_stream']}x",
+            f"  campaign payloads identical across paths:                     "
+            f"{campaign_doc['payloads_identical']}",
+        ]
+    )
     if baseline is not None:
         failures = compare_trajectories(kernel_doc, campaign_doc, *baseline)
         if failures:
@@ -773,10 +801,20 @@ def _run_solve(t: int, k: int, n: int, seed: int, max_steps: int) -> List[str]:
 
 
 def run(argv: Optional[Sequence[str]] = None) -> List[str]:
-    """Execute the CLI and return the lines it would print (also used by tests)."""
+    """Execute the CLI and return the lines it would print (also used by tests).
+
+    Configuration mistakes (an unknown workload or backend name, a backend
+    whose optional dependency is missing, ...) propagate as
+    :class:`~repro.errors.ConfigurationError`, so programmatic callers can
+    catch them; the console entry point (:func:`main`) converts them into a
+    clean one-line exit naming the valid choices.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    return _dispatch(args)
 
+
+def _dispatch(args: argparse.Namespace) -> List[str]:
     if args.command in (None, "list"):
         return _run_list()
     if args.command == "figure1":
@@ -818,7 +856,17 @@ def run(argv: Optional[Sequence[str]] = None) -> List[str]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Console entry point."""
-    for line in run(argv):
+    """Console entry point.
+
+    Library-level :class:`~repro.errors.ConfigurationError` (an unknown
+    workload or backend name, a backend whose optional dependency is
+    missing, ...) becomes a clean one-line ``SystemExit`` listing the valid
+    choices, not an uncaught traceback.
+    """
+    try:
+        lines = run(argv)
+    except ConfigurationError as error:
+        raise SystemExit(f"repro: {error}") from error
+    for line in lines:
         print(line)
     return 0

@@ -1,0 +1,217 @@
+"""Execution backend registry for batched replica runs.
+
+:func:`~repro.runtime.kernel.execute_batch` separates *what* a batch run means
+(every replica executes the same budgeted prefix of one shared compiled
+schedule, with identical observable effects to running each replica alone)
+from *how* the steps are driven.  The "how" is a :class:`Backend`:
+
+* :class:`ReferenceBackend` (``"python"``) — the pure-Python kernel loops
+  (:func:`~repro.runtime.kernel._execute_bare_counted` and friends), one
+  replica at a time.  This is the semantic reference and the tier-1 default;
+  every other backend is tested byte-identical against it.
+* ``"vector"`` (:mod:`repro.runtime.vector_backend`) — a numpy column
+  backend that runs the whole batch in lockstep over ``(batch × slots)``
+  integer columns.  It is registered lazily so importing this module never
+  requires numpy.
+
+Backends registered here are automatically picked up by the
+backend-conformance differential suite (``tests/runtime/test_backends.py``):
+a new backend only has to call :func:`register_backend` to be swept against
+the reference kernel over the full seeded scenario/workload matrix.
+
+>>> sorted(backend_names())
+['python', 'vector']
+>>> get_backend("python").name
+'python'
+"""
+
+from __future__ import annotations
+
+from array import array
+from importlib import import_module
+from itertools import islice
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.schedule import CompiledSchedule
+    from .kernel import ExecutionPolicy
+    from .simulator import RunResult, Simulator
+
+#: One replica's crash mask: ``pid -> schedule step index`` from which that
+#: process takes no further steps (same convention as
+#: :attr:`repro.core.schedule.CompiledSchedule.crash_steps`).
+CrashMask = Optional[Mapping[ProcessId, int]]
+
+
+class Backend:
+    """How a batch of replicas is driven over one shared compiled buffer.
+
+    Subclasses implement :meth:`run_batch`; everything a backend may *not*
+    change is fixed by the conformance contract: outputs, tracker change
+    sequences, halting, register values and operation counts, per-process
+    ``steps_taken`` and the per-replica ``RunResult`` accounting must be
+    byte-identical to the reference backend for every supported run.
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    def available(self) -> bool:
+        """Whether the backend can run in this environment (deps present)."""
+        return True
+
+    def ensure_available(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` when unavailable.
+
+        Subclasses with optional dependencies override this to name the
+        missing dependency and the extra that installs it.
+        """
+        if not self.available():
+            raise ConfigurationError(
+                f"execution backend {self.name!r} is not available in this "
+                "environment (a required optional dependency is missing)"
+            )
+
+    def run_batch(
+        self,
+        simulators: Sequence["Simulator"],
+        compiled: "CompiledSchedule",
+        budget: int,
+        policy: "ExecutionPolicy",
+        crash_masks: Optional[Sequence[CrashMask]] = None,
+    ) -> List["RunResult"]:
+        """Execute ``compiled.steps[:budget]`` on every replica.
+
+        ``crash_masks``, when given, carries one mask per replica; a masked
+        process's steps at schedule index ``>= mask[pid]`` are skipped for
+        that replica — equivalently, the replica runs the buffer with those
+        steps deleted (later steps keep their relative order, the replica's
+        step indices renumber densely).
+        """
+        raise NotImplementedError
+
+
+def _filtered_buffer(
+    steps: Sequence[ProcessId], budget: int, mask: Mapping[ProcessId, int]
+) -> array:
+    """The budgeted buffer with a crash mask's dead steps deleted."""
+    return array(
+        "i",
+        (
+            pid
+            for index, pid in enumerate(islice(iter(steps), budget))
+            if index < mask.get(pid, budget)
+        ),
+    )
+
+
+class ReferenceBackend(Backend):
+    """The pure-Python kernel loops, one replica at a time (the default).
+
+    Replicas run sequentially and independently; per replica the kernel
+    selects the bare counted loop (no observers, no trace) or the general
+    loop, exactly as :func:`~repro.runtime.kernel.execute` would.
+    """
+
+    name = "python"
+
+    def run_batch(
+        self,
+        simulators: Sequence["Simulator"],
+        compiled: "CompiledSchedule",
+        budget: int,
+        policy: "ExecutionPolicy",
+        crash_masks: Optional[Sequence[CrashMask]] = None,
+    ) -> List["RunResult"]:
+        """Run every replica through the existing per-replica kernel loops."""
+        from .kernel import (
+            _execute_bare,
+            _execute_bare_counted,
+            _execute_general,
+            check_observer_capabilities,
+        )
+
+        steps = compiled.steps
+        whole_buffer = budget == len(steps)
+        counts = compiled.step_counts() if whole_buffer else None
+        results: List["RunResult"] = []
+        for index, sim in enumerate(simulators):
+            mask = crash_masks[index] if crash_masks is not None else None
+            entries = sim.observer_entries()
+            check_observer_capabilities(policy, entries)
+            bare = not entries and not policy.collect_trace
+            if mask:
+                filtered = _filtered_buffer(steps, budget, mask)
+                if bare:
+                    results.append(_execute_bare(sim, filtered))
+                else:
+                    results.append(
+                        _execute_general(
+                            sim, iter(filtered), len(filtered), None, policy, entries
+                        )
+                    )
+            elif bare:
+                if whole_buffer:
+                    results.append(_execute_bare_counted(sim, steps, counts))
+                else:
+                    results.append(_execute_bare(sim, islice(iter(steps), budget)))
+            else:
+                results.append(
+                    _execute_general(sim, iter(steps), budget, None, policy, entries)
+                )
+        return results
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+#: Backends registered on first use so their modules (and optional
+#: dependencies) are only imported when actually requested.
+_LAZY_BACKENDS: Dict[str, str] = {"vector": "repro.runtime.vector_backend"}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register a backend instance under its ``name`` (latest wins).
+
+    Returns the backend so the call can be used as a statement-expression at
+    module scope.  Registering here is all it takes to join the
+    backend-conformance differential suite.
+    """
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_names() -> List[str]:
+    """Every registered backend name, including lazily registered ones."""
+    return sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))
+
+
+def get_backend(spec: Union[str, Backend, None]) -> Backend:
+    """Resolve a backend spec — a name, an instance, or ``None`` (reference).
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError` listing the
+    valid choices; lazily registered backends are imported on first request.
+    """
+    if spec is None:
+        spec = ReferenceBackend.name
+    if isinstance(spec, Backend):
+        return spec
+    backend = _BACKENDS.get(spec)
+    if backend is None and spec in _LAZY_BACKENDS:
+        import_module(_LAZY_BACKENDS[spec])
+        backend = _BACKENDS.get(spec)
+    if backend is None:
+        raise ConfigurationError(
+            f"unknown execution backend {spec!r}; available: {backend_names()}"
+        )
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends whose dependencies are present."""
+    return [name for name in backend_names() if get_backend(name).available()]
+
+
+register_backend(ReferenceBackend())

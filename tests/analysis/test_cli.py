@@ -250,3 +250,32 @@ class TestSearchCommand:
 
         with pytest.raises(ConfigurationError):
             run(["search", "--horizon", "1", "--generations", "2"])
+
+
+class TestBenchCommand:
+    def test_unknown_workload_exits_cleanly_listing_choices(self):
+        # The console entry point turns the library's ConfigurationError into
+        # a one-line SystemExit naming every valid workload, not a traceback.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--workload", "nope"])
+        message = str(excinfo.value)
+        assert "unknown workload" in message
+        for name in ("floor", "fresh-ops", "bound-ops"):
+            assert name in message
+
+    def test_unknown_backend_exits_cleanly_listing_choices(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--workload", "floor", "--backend", "banana"])
+        message = str(excinfo.value)
+        assert "unknown execution backend" in message
+        assert "python" in message and "vector" in message
+
+    def test_run_still_raises_configuration_error_for_library_callers(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run(["bench", "--workload", "nope"])

@@ -21,17 +21,48 @@ def test_guide_doctests_pass():
     assert results.failed == 0
 
 
-def test_search_subsystem_docstring_coverage():
+def _docstring_gate():
     spec = importlib.util.spec_from_file_location(
         "docstring_gate", REPO_ROOT / "tools" / "docstring_gate.py"
     )
     gate = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(gate)
-    missing = gate.check([REPO_ROOT / "src" / "repro" / "search"])
+    return gate
+
+
+def _assert_fully_documented(targets):
+    missing = _docstring_gate().check(targets)
     formatted = "\n".join(
         f"{path}:{line}: {kind} {name}" for path, line, kind, name in missing
     )
     assert not missing, f"undocumented public definitions:\n{formatted}"
+
+
+def test_search_subsystem_docstring_coverage():
+    _assert_fully_documented([REPO_ROOT / "src" / "repro" / "search"])
+
+
+def test_execution_backend_docstring_coverage():
+    # Same gate CI runs: the backend registry and the vector column backend
+    # are public API surface and must stay fully documented.
+    _assert_fully_documented(
+        [
+            REPO_ROOT / "src" / "repro" / "runtime" / "backends.py",
+            REPO_ROOT / "src" / "repro" / "runtime" / "vector_backend.py",
+        ]
+    )
+
+
+def test_backend_module_doctests_pass():
+    # CI's "Backend module doctests" step, mirrored in tier-1: the registry
+    # examples must pass with and without numpy (they never import it).
+    import repro.runtime.backends as backends_module
+    import repro.runtime.vector_backend as vector_module
+
+    for module in (backends_module, vector_module):
+        results = doctest.testmod(module, verbose=False)
+        assert results.attempted >= 1, f"{module.__name__} lost its examples"
+        assert results.failed == 0
 
 
 def test_counterexample_atlas_names_regenerating_commands():
