@@ -9,6 +9,7 @@ from .experiment import (
     falsification_experiment,
     figure1_experiment,
     schedule_family_comparison_experiment,
+    screened_solvability_grid_experiment,
     separation_experiment,
     separation_statements_experiment,
     solvability_map_experiment,
@@ -32,6 +33,7 @@ __all__ = [
     "falsification_experiment",
     "figure1_experiment",
     "schedule_family_comparison_experiment",
+    "screened_solvability_grid_experiment",
     "separation_experiment",
     "separation_statements_experiment",
     "solvability_map_experiment",

@@ -251,6 +251,10 @@ def _detector_report(params: Dict[str, Any]):
         # An execution-engine selector, not a schedule parameter: the backend
         # conformance contract pins the payload byte-identical across values,
         # so it rides in _EXPERIMENT_KEYS and compiled buffers stay shared.
+        # "auto" asks the planner to pick the vector column lane when every
+        # automaton in the batch has a registered lowering (loud reference
+        # fallback otherwise); "vector" is strict, "python" (the default)
+        # pins the reference kernel.
         backend=params.get("backend", "python"),
     )
     return generator, compiled, report

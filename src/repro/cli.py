@@ -149,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--t", type=int, required=True)
     grid.add_argument("--k", type=int, required=True)
     grid.add_argument("--n", type=int, required=True)
+    grid.add_argument(
+        "--screen",
+        action="store_true",
+        help="also screen one set-timely prefix per grid cell (all cells batched "
+        "through one auto-backend screen_generation call) and print the "
+        "empirical convergence evidence next to the Theorem 27 verdicts",
+    )
+    grid.add_argument(
+        "--horizon", type=int, default=2_400, help="base horizon for --screen prefixes"
+    )
+    grid.add_argument("--seed", type=int, default=11, help="seed for --screen prefixes")
 
     subparsers.add_parser(
         "separations", help=EXPERIMENTS["separations"], epilog=_epilog("separations")
@@ -258,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="timeliness bound for S^k_{t+1,n} membership (default: 4x the seed bound)",
     )
     search.add_argument("--top", type=int, default=None, help="findings to shrink and report")
+    search.add_argument(
+        "--backend",
+        default=None,
+        help="screening backend: auto (default — the planner picks the vector "
+        "column lane when every automaton lowers, loud reference fallback "
+        "otherwise), vector (strict), or python",
+    )
     search.add_argument(
         "--smoke",
         action="store_true",
@@ -516,6 +534,7 @@ def _run_search(args: argparse.Namespace) -> List[str]:
                 ("--near-miss-threshold", args.near_miss_threshold),
                 ("--certify-bound", args.certify_bound),
                 ("--top", args.top),
+                ("--backend", args.backend),
                 ("--jsonl", args.jsonl),
             )
             if value is not None
@@ -549,7 +568,7 @@ def _run_search(args: argparse.Namespace) -> List[str]:
         "k": args.k if args.k is not None else 2,
         "fitness": args.fitness or "stabilization-delay",
     }
-    for key in ("generations", "population", "horizon", "checkpoints", "top"):
+    for key in ("generations", "population", "horizon", "checkpoints", "top", "backend"):
         value = getattr(args, key)
         if value is not None:
             overrides[key] = value
@@ -723,6 +742,11 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
             f"  kernel headline   (floor: vector column vs. per-run fast):    "
             f"{kernel_doc['headline']['vector_vs_fast_stream']}x"
         )
+    if "vector_screen_vs_reference_screen" in kernel_doc["headline"]:
+        lines.append(
+            f"  kernel headline   (generation screen: column vs. reference):  "
+            f"{kernel_doc['headline']['vector_screen_vs_reference_screen']}x"
+        )
     lines.extend(
         [
             f"  campaign headline (batched vs. streamed engine):              "
@@ -731,6 +755,13 @@ def _run_bench(args: argparse.Namespace) -> List[str]:
             f"{campaign_doc['payloads_identical']}",
         ]
     )
+    if "search_eval_auto_vs_python" in campaign_doc["headline"]:
+        lines.append(
+            f"  campaign headline (search-eval: auto planner vs. python):     "
+            f"{campaign_doc['headline']['search_eval_auto_vs_python']}x "
+            f"(payloads identical: "
+            f"{campaign_doc['search_eval_payloads_identical']})"
+        )
     if baseline is not None:
         failures = compare_trajectories(kernel_doc, campaign_doc, *baseline)
         if failures:
@@ -759,7 +790,9 @@ def _run_report(jsonl: str) -> List[str]:
     return [ascii_table(headers, rows, title=f"records from {jsonl}")]
 
 
-def _run_map(t: int, k: int, n: int) -> List[str]:
+def _run_map(
+    t: int, k: int, n: int, screen: bool = False, horizon: int = 2_400, seed: int = 11
+) -> List[str]:
     problem = AgreementInstance(t=t, k=k, n=n)
     grids = solvability_map_experiment(problems=((t, k, n),))
     grid = grids[problem.describe()]
@@ -769,6 +802,21 @@ def _run_map(t: int, k: int, n: int) -> List[str]:
     lines.append(
         "frontier: " + ", ".join(coords.describe() for coords in solvable_frontier(problem))
     )
+    if screen:
+        from .analysis.experiment import screened_solvability_grid_experiment
+        from .search.properties import last_screen_plan
+
+        headers, rows = screened_solvability_grid_experiment(
+            t=t, k=k, n=n, horizon=horizon, seed=seed
+        )
+        lines.append(
+            ascii_table(headers, rows, title="screened grid (one batched screen)")
+        )
+        plan = last_screen_plan()
+        lines.append(
+            f"screen lane: {plan.get('lane')} ({plan.get('batch')} cells batched)"
+            + (f" — {plan['reason']}" if plan.get("reason") else "")
+        )
     return lines
 
 
@@ -830,7 +878,9 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         headers, rows = separation_experiment(k=args.k, horizons=tuple(args.horizons))
         return [ascii_table(headers, rows, title=EXPERIMENTS["separation"])]
     if args.command == "map":
-        return _run_map(args.t, args.k, args.n)
+        return _run_map(
+            args.t, args.k, args.n, screen=args.screen, horizon=args.horizon, seed=args.seed
+        )
     if args.command == "separations":
         headers, rows = separation_statements_experiment()
         return [ascii_table(headers, rows, title=EXPERIMENTS["separations"])]

@@ -13,6 +13,13 @@ from *how* the steps are driven.  The "how" is a :class:`Backend`:
   backend that runs the whole batch in lockstep over ``(batch × slots)``
   integer columns.  It is registered lazily so importing this module never
   requires numpy.
+* :class:`AutoBackend` (``"auto"``) — a planner, not an engine: it inspects
+  the batch (numpy present?  every automaton class lowerable?  sampling
+  publication-gated?) and delegates to the vector backend when the whole
+  batch can take the column lane, falling back *loudly* (one warning per
+  distinct reason, plus :attr:`AutoBackend.last_plan`) to the reference
+  kernel otherwise.  ``"auto"`` is always available, so callers can default
+  to it without caring whether the optional numpy extra is installed.
 
 Backends registered here are automatically picked up by the
 backend-conformance differential suite (``tests/runtime/test_backends.py``):
@@ -20,17 +27,32 @@ a new backend only has to call :func:`register_backend` to be swept against
 the reference kernel over the full seeded scenario/workload matrix.
 
 >>> sorted(backend_names())
-['python', 'vector']
+['auto', 'python', 'vector']
 >>> get_backend("python").name
 'python'
 """
 
 from __future__ import annotations
 
+import logging
 from array import array
+from dataclasses import dataclass
 from importlib import import_module
 from itertools import islice
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    Union,
+)
 
 from ..errors import ConfigurationError
 from ..types import ProcessId
@@ -44,6 +66,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: process takes no further steps (same convention as
 #: :attr:`repro.core.schedule.CompiledSchedule.crash_steps`).
 CrashMask = Optional[Mapping[ProcessId, int]]
+
+#: One checkpoint snapshot: ``pid -> {key: published value}``.
+Snapshot = Dict[ProcessId, Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class MultiBatchResult:
+    """What a multi-schedule batch run returns.
+
+    ``results`` carries one :class:`~repro.runtime.simulator.RunResult` per
+    replica, in replica order.  ``snapshots`` is ``None`` unless checkpointed
+    extraction was requested, in which case it holds one list of
+    ``checkpoints`` output snapshots per replica — snapshot ``i`` samples the
+    requested published keys after the replica has executed
+    ``(L * (i + 1)) // checkpoints`` of its ``L`` effective steps, exactly the
+    segment bounds :func:`repro.search.properties.checkpoint_snapshots` uses.
+    """
+
+    results: List["RunResult"]
+    snapshots: Optional[List[List[Snapshot]]] = None
 
 
 class Backend:
@@ -92,6 +134,93 @@ class Backend:
         step indices renumber densely).
         """
         raise NotImplementedError
+
+    def run_multi_batch(
+        self,
+        simulators: Sequence["Simulator"],
+        compileds: Sequence["CompiledSchedule"],
+        policy: "ExecutionPolicy",
+        crash_masks: Optional[Sequence[CrashMask]] = None,
+        checkpoints: Optional[int] = None,
+        snapshot_keys: Sequence[str] = (),
+    ) -> MultiBatchResult:
+        """Execute one *per-replica* compiled schedule on each replica.
+
+        This is the multi-schedule generalization of :meth:`run_batch`:
+        replica ``i`` runs ``compileds[i]`` (whole buffer, already budgeted by
+        the caller) under ``policy``, with ``crash_masks`` applied per replica
+        exactly as in :meth:`run_batch`.  When ``checkpoints`` is given, each
+        replica's *effective* (post-mask) buffer is split into ``checkpoints``
+        contiguous segments and the published outputs under ``snapshot_keys``
+        are sampled after each segment — the checkpointed-extraction contract
+        the search screens consume.  Trace-collecting policies are rejected
+        upstream by :func:`~repro.runtime.kernel.execute_multi_batch`.
+
+        The base implementation is the semantic reference: replicas run
+        sequentially through the per-replica kernel loops, segment by
+        segment.  Backends that can do better (the vector column lane)
+        override it; the conformance contract is the same as for
+        :meth:`run_batch`, extended with snapshot equality.
+        """
+        from .kernel import (
+            _execute_bare,
+            _execute_general,
+            check_observer_capabilities,
+        )
+        from .simulator import RunResult
+        from ..core.schedule import Schedule
+
+        results: List["RunResult"] = []
+        all_snapshots: Optional[List[List[Snapshot]]] = (
+            [] if checkpoints is not None else None
+        )
+        for index, sim in enumerate(simulators):
+            compiled = compileds[index]
+            mask = crash_masks[index] if crash_masks is not None else None
+            entries = sim.observer_entries()
+            check_observer_capabilities(policy, entries)
+            bare = not entries
+            steps = compiled.steps
+            buffer = _filtered_buffer(steps, len(steps), mask) if mask else steps
+            total = len(buffer)
+            segments = checkpoints if checkpoints is not None else 1
+            bounds = [(total * i) // segments for i in range(segments + 1)]
+            executed = 0
+            snapshots: List[Snapshot] = []
+            for start, end in zip(bounds, bounds[1:]):
+                if end > start:
+                    segment = buffer[start:end]
+                    if bare:
+                        part = _execute_bare(sim, segment)
+                    else:
+                        part = _execute_general(
+                            sim, iter(segment), end - start, None, policy, entries
+                        )
+                    executed += part.steps_executed
+                if checkpoints is not None:
+                    snapshots.append(
+                        {
+                            pid: {
+                                key: sim.output_of(pid, key) for key in snapshot_keys
+                            }
+                            for pid in range(1, sim.n + 1)
+                        }
+                    )
+            results.append(
+                RunResult(
+                    executed_schedule=Schedule(steps=(), n=sim.n),
+                    steps_executed=executed,
+                    stopped_early=False,
+                    halted_processes=sim.halted_processes(),
+                    outputs={
+                        pid: dict(state.automaton.outputs)
+                        for pid, state in sim._states.items()
+                    },
+                )
+            )
+            if all_snapshots is not None:
+                all_snapshots.append(snapshots)
+        return MultiBatchResult(results=results, snapshots=all_snapshots)
 
 
 def _filtered_buffer(
@@ -165,6 +294,140 @@ class ReferenceBackend(Backend):
         return results
 
 
+_LOGGER = logging.getLogger(__name__)
+
+#: Fallback reasons already warned about (the "loud" in *falls back loudly*
+#: means one warning per distinct reason, not one per batch).
+_WARNED_FALLBACKS: Set[str] = set()
+
+
+def _warn_fallback(reason: str) -> None:
+    """Log each distinct auto-planner fallback reason once per process."""
+    if reason not in _WARNED_FALLBACKS:
+        _WARNED_FALLBACKS.add(reason)
+        _LOGGER.warning("auto backend falling back to the reference kernel: %s", reason)
+
+
+def plan_backend_for_classes(
+    automaton_classes: Iterable[Type], policy: Optional["ExecutionPolicy"] = None
+) -> Tuple[str, Optional[str]]:
+    """The auto planner's decision rule, as a pure function.
+
+    Returns ``(backend_name, fallback_reason)``: ``("vector", None)`` when a
+    batch built from the given automaton classes can take the column lane —
+    numpy installed, observer sampling publication-gated (``policy`` may be
+    ``None`` for sim-free callers, who never attach observers), and a vector
+    lowering registered for *every* class — else ``("python", reason)``.
+    Exposed so batch-free callers (the whole-generation screen path) can
+    consult the same rule the :class:`AutoBackend` applies to simulator
+    batches.
+    """
+    if not get_backend("vector").available():
+        return (
+            "python",
+            "numpy is not installed (the [vector] optional extra); batches run "
+            "on the pure-Python reference kernel",
+        )
+    if policy is not None:
+        from .kernel import EVERY_STEP
+
+        if policy.sampling == EVERY_STEP:
+            return (
+                "python",
+                f"policy {policy.name!r} samples observers on every step; the "
+                "vector lane supports publication-gated sampling only",
+            )
+    from .vector_backend import lowering_for
+
+    for klass in automaton_classes:
+        if lowering_for(klass) is None:
+            return (
+                "python",
+                f"no vector lowering registered for {klass.__name__}",
+            )
+    return ("vector", None)
+
+
+class AutoBackend(Backend):
+    """The ``"auto"`` planner: pick the vector lane when the batch can take it.
+
+    Decision rule (per batch, recorded in :attr:`last_plan`): the vector
+    backend is chosen iff numpy is installed, the policy's observer sampling
+    is publication-gated, and **every** replica automaton class has a
+    registered vector lowering (:func:`~repro.runtime.vector_backend.lowering_for`);
+    otherwise the batch runs on the reference kernel and the reason is logged
+    once per distinct cause.  The vector backend keeps its own internal
+    fallback for conditions the planner cannot see from classes alone
+    (already-started replicas, non-integer register values, custom
+    statistics), so a plan of ``"vector"`` is a fast-path bet, never a
+    correctness one.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        #: Diagnostics for the most recent planning decision:
+        #: ``{"backend", "reason", "batch"}``.
+        self.last_plan: Dict[str, Any] = {}
+
+    def available(self) -> bool:
+        """Always available — planning to the reference kernel needs nothing."""
+        return True
+
+    # ------------------------------------------------------------------
+    def _batch_classes(self, simulators: Sequence["Simulator"]) -> Set[Type]:
+        return {
+            type(state.automaton)
+            for sim in simulators
+            for state in sim._states.values()
+        }
+
+    def _plan(
+        self, simulators: Sequence["Simulator"], policy: "ExecutionPolicy"
+    ) -> Backend:
+        chosen, reason = plan_backend_for_classes(
+            self._batch_classes(simulators), policy
+        )
+        self.last_plan = {
+            "backend": chosen,
+            "reason": reason,
+            "batch": len(simulators),
+        }
+        if reason is not None:
+            _warn_fallback(reason)
+        return get_backend(chosen)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        simulators: Sequence["Simulator"],
+        compiled: "CompiledSchedule",
+        budget: int,
+        policy: "ExecutionPolicy",
+        crash_masks: Optional[Sequence[CrashMask]] = None,
+    ) -> List["RunResult"]:
+        """Plan, then delegate the shared-schedule batch to the chosen backend."""
+        sims = list(simulators)
+        return self._plan(sims, policy).run_batch(
+            sims, compiled, budget, policy, crash_masks
+        )
+
+    def run_multi_batch(
+        self,
+        simulators: Sequence["Simulator"],
+        compileds: Sequence["CompiledSchedule"],
+        policy: "ExecutionPolicy",
+        crash_masks: Optional[Sequence[CrashMask]] = None,
+        checkpoints: Optional[int] = None,
+        snapshot_keys: Sequence[str] = (),
+    ) -> MultiBatchResult:
+        """Plan, then delegate the multi-schedule batch to the chosen backend."""
+        sims = list(simulators)
+        return self._plan(sims, policy).run_multi_batch(
+            sims, compileds, policy, crash_masks, checkpoints, snapshot_keys
+        )
+
+
 _BACKENDS: Dict[str, Backend] = {}
 
 #: Backends registered on first use so their modules (and optional
@@ -215,3 +478,4 @@ def available_backends() -> List[str]:
 
 
 register_backend(ReferenceBackend())
+register_backend(AutoBackend())

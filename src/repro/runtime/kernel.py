@@ -722,3 +722,80 @@ def execute_batch(
     steps = compiled.steps
     budget = len(steps) if max_steps is None else min(max_steps, len(steps))
     return get_backend(backend).run_batch(sims, compiled, budget, policy, masks)
+
+
+def execute_multi_batch(
+    simulators: Sequence["Simulator"],
+    schedules: Sequence["ScheduleSource"],
+    max_steps: Optional[int] = None,
+    policy: ExecutionPolicy = FAST,
+    backend: Any = None,
+    crash_steps: Optional[Sequence[Optional[Dict[ProcessId, int]]]] = None,
+    checkpoints: Optional[int] = None,
+    snapshot_keys: Sequence[str] = (),
+) -> "MultiBatchResult":
+    """Drive a batch of replicas, each over its **own** schedule source.
+
+    The multi-schedule sibling of :func:`execute_batch`: replica ``i``
+    executes ``schedules[i]`` (budgeted to ``max_steps`` when given) under
+    ``policy``, so one call screens a whole heterogeneous generation —
+    elites, mutants and fresh candidates with different lengths — instead of
+    one call per candidate.  All replicas must live over the same ``Πn``;
+    schedules may differ arbitrarily in steps, length and crash metadata.
+
+    ``backend`` resolves exactly as in :func:`execute_batch` (``"auto"``
+    plans vector-vs-reference per batch); every backend returns results
+    identical to running each replica alone over its own schedule.
+    ``crash_steps`` carries one per-replica mask with :func:`execute_batch`
+    semantics, applied to that replica's own buffer.
+
+    When ``checkpoints`` is given, each replica's effective buffer is split
+    into ``checkpoints`` contiguous segments and the published outputs under
+    ``snapshot_keys`` are snapshotted after each segment (column-side on the
+    vector lane — no per-segment re-entry); the snapshots come back on
+    :attr:`~repro.runtime.backends.MultiBatchResult.snapshots`.  Policies
+    that collect traces are not supported — multi-schedule runs have no
+    single shared executed schedule to record.
+    """
+    from .backends import MultiBatchResult, get_backend  # local import, see above
+
+    sims = list(simulators)
+    sources = list(schedules)
+    if len(sims) != len(sources):
+        raise SimulationError(
+            f"execute_multi_batch got {len(sims)} replica(s) and "
+            f"{len(sources)} schedule(s); pass exactly one schedule per replica"
+        )
+    if policy.collect_trace:
+        raise SimulationError(
+            "execute_multi_batch does not support trace-collecting policies; "
+            "replicas run heterogeneous buffers with no shared schedule to record"
+        )
+    if checkpoints is not None and checkpoints < 1:
+        raise SimulationError(f"checkpoints must be >= 1, got {checkpoints}")
+    if not sims:
+        return MultiBatchResult(
+            results=[], snapshots=[] if checkpoints is not None else None
+        )
+    n = sims[0].n
+    for sim in sims[1:]:
+        if sim.n != n:
+            raise SimulationError(
+                f"execute_multi_batch needs replicas over one Πn, got n={n} and n={sim.n}"
+            )
+    masks = _normalize_crash_masks(crash_steps, len(sims), n)
+    align_replica_arenas(sims)
+    compileds: List[CompiledSchedule] = []
+    for source in sources:
+        compiled = _materialize_for_batch(n, source, max_steps)
+        if max_steps is not None and len(compiled) > max_steps:
+            compiled = CompiledSchedule(
+                n=n,
+                steps=compiled.steps[:max_steps],
+                crash_steps=compiled.crash_steps,
+                description=compiled.description,
+            )
+        compileds.append(compiled)
+    return get_backend(backend).run_multi_batch(
+        sims, compileds, policy, masks, checkpoints, snapshot_keys
+    )

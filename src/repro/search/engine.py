@@ -11,11 +11,12 @@ property (:mod:`repro.search.properties`):
    :class:`~repro.campaign.spec.CampaignSpec`, so populations dispatch across
    worker processes, identical candidates deduplicate by content address, and
    a :class:`~repro.campaign.cache.ResultCache` makes re-running a search
-   resume from cached generations.  Inside a run every candidate is screened
-   on the bare batched kernel (checkpointed
-   :func:`~repro.runtime.kernel.execute_batch` segments); only flagged
-   candidates pay for the exact tracker-based ``confirm`` pass and
-   certification.
+   resume from cached generations.  Inside a run the whole chunk screens in
+   one call (:func:`~repro.search.properties.screen_generation` — column
+   lanes under the ``"auto"`` backend planner, per-candidate bare-kernel
+   checkpointing otherwise), with elite re-screens served from a
+   screen-verdict cache; only flagged candidates pay for the exact
+   tracker-based ``confirm`` pass and certification.
 2. **Shrink.**  Surviving findings (confirmed violations, else the best
    near-misses) are minimized by the deterministic delta-debugging loop in
    :mod:`repro.search.shrink`, with the property's exact verdict as the
@@ -34,9 +35,11 @@ produces the same report (pinned by ``tests/search/test_search_engine.py``).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
@@ -46,6 +49,7 @@ from ..campaign.spec import CampaignSpec
 from ..campaign.runner import register_kind
 from ..core.schedule import CompiledSchedule
 from ..errors import ConfigurationError
+from ..runtime.backends import backend_names
 from .certify import (
     CertificationReport,
     best_witness,
@@ -59,7 +63,13 @@ from .mutations import (
     realize,
     recipe_signature,
 )
-from .properties import available_properties, make_property
+from .properties import (
+    PropertyVerdict,
+    ScheduleProperty,
+    available_properties,
+    make_property,
+    screen_generation,
+)
 
 #: The fitness signals a search can maximize.
 FITNESS_MODES = ("stabilization-delay", "timeliness-bound")
@@ -100,12 +110,20 @@ class SearchConfig:
     top: int = 3
     shrink_max_evaluations: int = 120
     eval_chunk: int = 4
+    #: Screening backend: ``"auto"`` (plan per batch: column lanes when the
+    #: whole generation lowers, loud reference fallback otherwise),
+    #: ``"vector"`` (forced, errors when unlowerable) or ``"python"``.
+    backend: str = "auto"
     smoke: bool = False
 
     def __post_init__(self) -> None:
         if self.property not in available_properties():
             raise ConfigurationError(
                 f"unknown property {self.property!r}; registered: {available_properties()}"
+            )
+        if self.backend not in backend_names():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; registered: {backend_names()}"
             )
         if self.fitness not in FITNESS_MODES:
             raise ConfigurationError(
@@ -172,6 +190,7 @@ class SearchConfig:
         ("near_miss_threshold", "--near-miss-threshold"),
         ("certify_bound", "--certify-bound"),
         ("top", "--top"),
+        ("backend", "--backend"),
     )
 
     def command(self) -> str:
@@ -306,6 +325,74 @@ def generation_recipes(
 
 
 # ----------------------------------------------------------------------
+# The screen-verdict cache
+# ----------------------------------------------------------------------
+
+#: LRU of screen verdicts keyed by (property identity, schedule content,
+#: checkpoint count) — elites re-screened across generations hit for free.
+_SCREEN_CACHE: "OrderedDict[Tuple[Any, ...], PropertyVerdict]" = OrderedDict()
+_SCREEN_CACHE_LIMIT = 4096
+_SCREEN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def screen_cache_stats() -> Dict[str, int]:
+    """Cumulative hit/miss counters of the screen-verdict cache."""
+    return dict(_SCREEN_CACHE_STATS)
+
+
+def reset_screen_cache() -> None:
+    """Empty the screen-verdict cache and zero its counters.
+
+    Benchmarks and differential tests call this so measured lanes and
+    compared payloads reflect real screening work, never a warm cache.
+    """
+    _SCREEN_CACHE.clear()
+    _SCREEN_CACHE_STATS["hits"] = 0
+    _SCREEN_CACHE_STATS["misses"] = 0
+
+
+def _screen_cache_key(
+    prop: ScheduleProperty, compiled: CompiledSchedule, checkpoints: int
+) -> Tuple[Any, ...]:
+    """Content key: the verdict depends only on these inputs."""
+    digest = hashlib.sha1(compiled.steps.tobytes())
+    digest.update(repr(sorted(compiled.crash_steps.items())).encode())
+    return (prop.name, prop.n, prop.t, prop.k, compiled.n, checkpoints, digest.hexdigest())
+
+
+def _screened_verdicts(
+    prop: ScheduleProperty,
+    compileds: List[CompiledSchedule],
+    checkpoints: int,
+    backend: str,
+) -> List[PropertyVerdict]:
+    """Screen verdicts for a chunk: cache hits are free, misses batch."""
+    keys = [_screen_cache_key(prop, compiled, checkpoints) for compiled in compileds]
+    verdicts: List[Optional[PropertyVerdict]] = [None] * len(compileds)
+    missing: List[int] = []
+    for index, key in enumerate(keys):
+        cached = _SCREEN_CACHE.get(key)
+        if cached is not None:
+            _SCREEN_CACHE.move_to_end(key)
+            _SCREEN_CACHE_STATS["hits"] += 1
+            verdicts[index] = cached
+        else:
+            _SCREEN_CACHE_STATS["misses"] += 1
+            missing.append(index)
+    if missing:
+        fresh = screen_generation(
+            prop, [compileds[index] for index in missing], checkpoints, backend=backend
+        )
+        for index, verdict in zip(missing, fresh):
+            verdicts[index] = verdict
+            _SCREEN_CACHE[keys[index]] = verdict
+            _SCREEN_CACHE.move_to_end(keys[index])
+        while len(_SCREEN_CACHE) > _SCREEN_CACHE_LIMIT:
+            _SCREEN_CACHE.popitem(last=False)
+    return verdicts
+
+
+# ----------------------------------------------------------------------
 # The campaign kind: evaluate a chunk of recipes
 # ----------------------------------------------------------------------
 
@@ -314,9 +401,20 @@ def evaluate_recipe(
 ) -> Dict[str, Any]:
     """Evaluate one candidate: screen always; confirm + certify when flagged."""
     prop = make_property(str(params["property"]), params["property_params"])
-    i, j = prop.certification_sizes()
     compiled = realize(recipe)
     screen = prop.screen(compiled, int(params["checkpoints"]))
+    return _finish_evaluation(recipe, params, prop, compiled, screen)
+
+
+def _finish_evaluation(
+    recipe: Mapping[str, Any],
+    params: Mapping[str, Any],
+    prop: ScheduleProperty,
+    compiled: CompiledSchedule,
+    screen: PropertyVerdict,
+) -> Dict[str, Any]:
+    """Everything after the screen: fitness, confirm + certify when flagged."""
+    i, j = prop.certification_sizes()
     certify_prefix = params.get("certify_prefix")
     if certify_prefix is not None:
         certify_prefix = int(certify_prefix)
@@ -363,13 +461,29 @@ def evaluate_recipe(
 def run_search_eval_kind(params: Dict[str, Any]) -> Dict[str, Any]:
     """Campaign kind ``search-eval``: evaluate one chunk of candidate recipes.
 
-    A pure function of its parameters (recipes are realized deterministically,
-    properties are rebuilt per candidate), which is what makes search
-    generations content-addressable campaign runs: re-running a search with a
-    result cache replays cached generations instead of re-simulating them.
+    The whole chunk screens in one :func:`~repro.search.properties.screen_generation`
+    call (``params["backend"]`` selects the lane; the planner default is
+    ``"auto"``), with elite re-screens served from the screen-verdict cache.
+    Deterministic in its parameters — verdicts are backend-independent and
+    the cache only ever returns what screening would recompute — which is
+    what makes search generations content-addressable campaign runs: re-running
+    a search with a result cache replays cached generations instead of
+    re-simulating them.
     """
+    prop = make_property(str(params["property"]), params["property_params"])
+    recipes = list(params["recipes"])
+    compileds = [realize(recipe) for recipe in recipes]
+    screens = _screened_verdicts(
+        prop,
+        compileds,
+        int(params["checkpoints"]),
+        str(params.get("backend", "auto")),
+    )
     return {
-        "results": [evaluate_recipe(recipe, params) for recipe in params["recipes"]]
+        "results": [
+            _finish_evaluation(recipe, params, prop, compiled, screen)
+            for recipe, compiled, screen in zip(recipes, compileds, screens)
+        ]
     }
 
 
@@ -532,6 +646,7 @@ def _eval_params(config: SearchConfig, recipes: List[Dict[str, Any]]) -> Dict[st
         "near_miss_threshold": config.near_miss_threshold,
         "certify_bound": config.resolved_certify_bound(),
         "certify_prefix": config.certify_prefix,
+        "backend": config.backend,
         "recipes": recipes,
     }
 

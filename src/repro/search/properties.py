@@ -8,19 +8,28 @@ modes with very different costs:
 
 ``screen(compiled, checkpoints)``
     The cheap falsification probe the engine runs on *every* candidate.  It
-    builds instrumentation-free replicas, drives them over the candidate's
-    buffer in checkpoint segments through
-    :func:`repro.runtime.kernel.execute_batch` (so each segment runs the bare
-    batched loop — no observers, no trace), and judges the property from the
-    published-output snapshots taken between segments.  The verdict is exact
-    at checkpoint resolution: good enough to rank candidates and to flag
-    potential violations.
+    builds one instrumentation-free replica, drives it over the candidate's
+    buffer in checkpoint segments on the bare kernel loop (no observers, no
+    trace), and judges the property from the published-output snapshots taken
+    between segments.  The verdict is exact at checkpoint resolution: good
+    enough to rank candidates and to flag potential violations.
 
 ``confirm(compiled)``
     The exact verdict, run only on flagged candidates and inside the
     shrinker: attach the real output trackers, replay the candidate under the
     fast policy, and apply the library's own property checker.  A candidate
     only ever counts as a *violation* on the word of ``confirm``.
+
+Screen judging is split from screen execution: every property judges from
+checkpoint snapshots via ``judge_screen``, so a *whole generation* of
+candidates — each with its own schedule — can gather its snapshots in one
+vector call (:func:`screen_generation`, via ``batch_screen_snapshots``) and
+still produce verdicts identical to the one-at-a-time ``screen`` path.  The
+anti-Ω properties route the batch through a sim-free column kernel
+(:func:`repro.runtime.vector_backend.anti_omega_screen_snapshots`); everything
+else goes through :func:`repro.runtime.kernel.execute_multi_batch`'s
+column-side snapshot extraction when its automata lower, with a loud
+reference fallback otherwise.
 
 Both modes read the ground-truth correct set from the candidate's compiled
 crash metadata, exactly like every other harness in the library.  Fitness is
@@ -39,7 +48,7 @@ from ..agreement.kset import DECISION
 from ..agreement.problem import check_agreement, distinct_inputs
 from ..agreement.runner import build_agreement_algorithm
 from ..core.schedule import CompiledSchedule
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..failure_detectors.anti_omega import (
     KAntiOmegaAutomaton,
     make_anti_omega_algorithm,
@@ -47,9 +56,12 @@ from ..failure_detectors.anti_omega import (
 from ..failure_detectors.base import FD_OUTPUT, WINNER_SET, make_detector_trackers
 from ..failure_detectors.properties import check_k_anti_omega, check_leader_set_convergence
 from ..memory.registers import RegisterFile
-from ..runtime.kernel import execute_batch
+from ..runtime.kernel import execute_batch, execute_multi_batch
 from ..runtime.simulator import Simulator
 from ..types import AgreementInstance, ProcessId, ProcessSet, universe
+
+#: One ``pid -> {key: value}`` published-output sample (a checkpoint snapshot).
+Snapshot = Dict[ProcessId, Dict[str, Any]]
 
 
 @dataclass(frozen=True)
@@ -100,9 +112,67 @@ class ScheduleProperty(ABC):
         return universe(self.n) - compiled.faulty
 
     # ------------------------------------------------------------------
+    #: Published keys the screen snapshots sample (one column per key).
+    screen_keys: Tuple[str, ...] = ()
+
     @abstractmethod
+    def _build_simulator(self) -> Simulator:
+        """A fresh instrumentation-free replica of the system under test."""
+
     def screen(self, compiled: CompiledSchedule, checkpoints: int) -> PropertyVerdict:
         """Cheap bare-kernel verdict at checkpoint resolution."""
+        simulator = self._build_simulator()
+        snapshots = checkpoint_snapshots(
+            simulator, compiled, checkpoints, self.screen_keys
+        )
+        return self.judge_screen(snapshots, compiled)
+
+    @abstractmethod
+    def judge_screen(
+        self, snapshots: List[Snapshot], compiled: CompiledSchedule
+    ) -> PropertyVerdict:
+        """The screen verdict from checkpoint snapshots (shared by all lanes).
+
+        Every screen path — the per-candidate :meth:`screen`, and the batched
+        :func:`screen_generation` — funnels through this judge, which is what
+        pins the lanes verdict-identical: same snapshots in, same
+        :class:`PropertyVerdict` out.
+        """
+
+    def batch_screen_snapshots(
+        self, compileds: Sequence[CompiledSchedule], checkpoints: int
+    ) -> List[List[Snapshot]]:
+        """Checkpoint snapshots for a whole generation, via the column lanes.
+
+        The default builds one replica per candidate and runs the batch
+        through :func:`~repro.runtime.kernel.execute_multi_batch` on the
+        vector backend, which extracts the snapshots column-side.  Raises
+        :class:`~repro.runtime.vector_backend.UnsupportedLowering` when the
+        batch cannot take a column lane (numpy missing, or an automaton in
+        the replica stack has no registered lowering) so callers fall back to
+        the per-candidate reference screen.  Subclasses may override with a
+        cheaper lane (the anti-Ω properties screen sim-free).
+        """
+        from ..runtime.backends import plan_backend_for_classes
+        from ..runtime.vector_backend import UnsupportedLowering
+
+        simulators = [self._build_simulator() for _ in compileds]
+        classes = {
+            type(state.automaton)
+            for simulator in simulators
+            for state in simulator._states.values()
+        }
+        chosen, reason = plan_backend_for_classes(classes)
+        if chosen != "vector":
+            raise UnsupportedLowering(reason)
+        result = execute_multi_batch(
+            simulators,
+            compileds,
+            backend="vector",
+            checkpoints=checkpoints,
+            snapshot_keys=self.screen_keys,
+        )
+        return result.snapshots
 
     @abstractmethod
     def confirm(self, compiled: CompiledSchedule) -> PropertyVerdict:
@@ -118,27 +188,36 @@ def checkpoint_snapshots(
     compiled: CompiledSchedule,
     checkpoints: int,
     keys: Sequence[str],
-) -> List[Dict[ProcessId, Dict[str, Any]]]:
+) -> List[Snapshot]:
     """Drive one replica over the buffer in segments, sampling outputs between.
 
-    The buffer is split into ``checkpoints`` contiguous segments; each segment
-    is executed via :func:`~repro.runtime.kernel.execute_batch` (the replica
-    carries no observers, so every segment runs the bare batched loop), and
-    after each segment the published outputs under ``keys`` are snapshotted
-    for every process.  Returns one ``pid -> {key: value}`` snapshot per
+    The buffer is split into ``checkpoints`` contiguous segments; each
+    non-empty segment runs directly on the bare kernel loop (the replica
+    carries no observers) without re-entering the batch machinery per
+    segment, and after each segment the published outputs under ``keys`` are
+    snapshotted for every process.  Zero-length segments — ``checkpoints``
+    exceeding the schedule length — execute nothing and simply repeat the
+    previous snapshot.  Returns one ``pid -> {key: value}`` snapshot per
     checkpoint; the final snapshot reflects the full buffer.
     """
+    from ..runtime.kernel import _execute_bare
+
     if checkpoints < 1:
         raise ConfigurationError(f"checkpoints must be >= 1, got {checkpoints}")
+    bare = not simulator.observer_entries()
     total = len(compiled)
+    steps = compiled.steps
     bounds = [(total * index) // checkpoints for index in range(checkpoints + 1)]
-    snapshots: List[Dict[ProcessId, Dict[str, Any]]] = []
+    snapshots: List[Snapshot] = []
     for start, end in zip(bounds, bounds[1:]):
         if end > start:
-            segment = CompiledSchedule(
-                n=compiled.n, steps=compiled.steps[start:end], description="segment"
-            )
-            execute_batch([simulator], segment)
+            if bare:
+                _execute_bare(simulator, steps[start:end])
+            else:
+                segment = CompiledSchedule(
+                    n=compiled.n, steps=steps[start:end], description="segment"
+                )
+                execute_batch([simulator], segment)
         snapshots.append(
             {
                 pid: {key: simulator.output_of(pid, key) for key in keys}
@@ -203,6 +282,7 @@ class KAntiOmegaConvergenceProperty(ScheduleProperty):
     """
 
     name = "k-anti-omega-convergence"
+    screen_keys = (FD_OUTPUT,)
 
     def _build_simulator(self) -> Simulator:
         registers = RegisterFile()
@@ -210,11 +290,28 @@ class KAntiOmegaConvergenceProperty(ScheduleProperty):
         automata = make_anti_omega_algorithm(n=self.n, t=self.t, k=self.k)
         return Simulator(n=self.n, automata=automata, registers=registers)
 
+    def batch_screen_snapshots(
+        self, compileds: Sequence[CompiledSchedule], checkpoints: int
+    ) -> List[List[Snapshot]]:
+        """Whole-generation snapshots from the sim-free anti-Ω column kernel.
+
+        No simulators are built at all: the candidates' Figure 2 runs execute
+        as flat numpy lanes
+        (:func:`~repro.runtime.vector_backend.anti_omega_screen_snapshots`),
+        which skips the per-candidate construction cost that dominates short
+        screens on the reference path.
+        """
+        from ..runtime.vector_backend import anti_omega_screen_snapshots
+
+        return anti_omega_screen_snapshots(
+            self.n, self.t, self.k, compileds, checkpoints, self.screen_keys
+        )
+
     # ------------------------------------------------------------------
-    def screen(self, compiled: CompiledSchedule, checkpoints: int) -> PropertyVerdict:
-        """Bare-kernel probe: suspicion stability across checkpoint snapshots."""
-        simulator = self._build_simulator()
-        snapshots = checkpoint_snapshots(simulator, compiled, checkpoints, (FD_OUTPUT,))
+    def judge_screen(
+        self, snapshots: List[Snapshot], compiled: CompiledSchedule
+    ) -> PropertyVerdict:
+        """Judge suspicion stability across checkpoint snapshots."""
         correct = sorted(self.correct_set(compiled))
         final = snapshots[-1]
         all_produced = all(final[pid][FD_OUTPUT] is not None for pid in correct)
@@ -316,11 +413,12 @@ class LeaderSetConvergenceProperty(KAntiOmegaConvergenceProperty):
     """
 
     name = "leader-set-convergence"
+    screen_keys = (WINNER_SET,)
 
-    def screen(self, compiled: CompiledSchedule, checkpoints: int) -> PropertyVerdict:
-        """Bare-kernel probe: winner-set agreement across checkpoint snapshots."""
-        simulator = self._build_simulator()
-        snapshots = checkpoint_snapshots(simulator, compiled, checkpoints, (WINNER_SET,))
+    def judge_screen(
+        self, snapshots: List[Snapshot], compiled: CompiledSchedule
+    ) -> PropertyVerdict:
+        """Judge winner-set agreement across checkpoint snapshots."""
         correct = sorted(self.correct_set(compiled))
         correct_frozen = frozenset(correct)
         final = snapshots[-1]
@@ -402,6 +500,7 @@ class AgreementSafetyProperty(ScheduleProperty):
     """
 
     name = "agreement-safety"
+    screen_keys = (DECISION,)
 
     def __init__(self, n: int, t: int, k: int) -> None:
         super().__init__(n, t, k)
@@ -447,10 +546,10 @@ class AgreementSafetyProperty(ScheduleProperty):
         )
 
     # ------------------------------------------------------------------
-    def screen(self, compiled: CompiledSchedule, checkpoints: int) -> PropertyVerdict:
-        """Bare-kernel probe: decisions sampled at checkpoints, judged at the end."""
-        simulator = self._build_simulator()
-        snapshots = checkpoint_snapshots(simulator, compiled, checkpoints, (DECISION,))
+    def judge_screen(
+        self, snapshots: List[Snapshot], compiled: CompiledSchedule
+    ) -> PropertyVerdict:
+        """Judge decisions sampled at checkpoints, from the final snapshot."""
         final = snapshots[-1]
         decisions = {pid: final[pid][DECISION] for pid in range(1, self.n + 1)}
         first_decided = next(
@@ -473,6 +572,101 @@ class AgreementSafetyProperty(ScheduleProperty):
             pid: simulator.output_of(pid, DECISION) for pid in range(1, self.n + 1)
         }
         return self._judge(decisions, compiled, "confirm")
+
+
+# ----------------------------------------------------------------------
+# Whole-generation screening
+# ----------------------------------------------------------------------
+
+#: Diagnostics for the most recent :func:`screen_generation` call.
+_LAST_SCREEN_PLAN: Dict[str, Any] = {}
+
+
+def last_screen_plan() -> Dict[str, Any]:
+    """Which lane the last :func:`screen_generation` took, and why.
+
+    Keys: ``lane`` (``"column"`` or ``"reference"``), ``reason`` (the fallback
+    reason, ``None`` on the column lane), ``batch``.  Empty before the first
+    call.  The campaign and the tests use this to assert the auto planner's
+    decisions without scraping logs.
+    """
+    return dict(_LAST_SCREEN_PLAN)
+
+
+def screen_generation(
+    prop: ScheduleProperty,
+    compileds: Sequence[CompiledSchedule],
+    checkpoints: int,
+    backend: str = "auto",
+) -> List[PropertyVerdict]:
+    """Screen a whole generation of candidates in one call.
+
+    With ``backend="auto"`` (the planner default) the batch gathers its
+    checkpoint snapshots through the property's column lane
+    (:meth:`ScheduleProperty.batch_screen_snapshots`) and judges each
+    candidate with the same :meth:`ScheduleProperty.judge_screen` the
+    one-at-a-time path uses — so the verdicts are identical, only cheaper.
+    Batches the column lane cannot take fall back *loudly* (one log warning
+    per distinct reason; :func:`last_screen_plan` records the decision) to
+    per-candidate :meth:`ScheduleProperty.screen` calls.
+
+    ``backend="vector"`` forces the column lane and raises
+    :class:`~repro.errors.SimulationError` when it cannot take the batch;
+    ``backend="python"`` forces the per-candidate reference path.
+    """
+    from ..runtime.backends import _warn_fallback, backend_names
+    from ..runtime.vector_backend import UnsupportedLowering
+
+    if backend not in backend_names():
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; registered: {backend_names()}"
+        )
+    compiled_list = list(compileds)
+    if not compiled_list:
+        return []
+
+    def note(lane: str, reason: Optional[str]) -> None:
+        _LAST_SCREEN_PLAN.clear()
+        _LAST_SCREEN_PLAN.update(
+            {"lane": lane, "reason": reason, "batch": len(compiled_list)}
+        )
+
+    if backend in ("auto", "vector"):
+        # A property that overrides screen() wholesale (instead of judging
+        # through judge_screen) cannot be replaced by the snapshot lanes —
+        # its per-candidate screen is the only spelling of its verdict.
+        if type(prop).screen is not ScheduleProperty.screen:
+            reason = (
+                f"{type(prop).__name__} overrides screen(); the column lanes "
+                "only replace the base checkpoint screen"
+            )
+            if backend == "vector":
+                raise SimulationError(
+                    f"vector screening could not take the batch: {reason}"
+                )
+            note("reference", reason)
+            _warn_fallback(reason)
+        else:
+            try:
+                snapshot_lists = prop.batch_screen_snapshots(
+                    compiled_list, checkpoints
+                )
+            except UnsupportedLowering as unsupported:
+                if backend == "vector":
+                    raise SimulationError(
+                        f"vector screening could not take the batch: {unsupported}"
+                    ) from unsupported
+                note("reference", str(unsupported))
+                _warn_fallback(str(unsupported))
+            else:
+                note("column", None)
+                return [
+                    prop.judge_screen(snapshots, compiled)
+                    for snapshots, compiled in zip(snapshot_lists, compiled_list)
+                ]
+    else:
+        note("reference", f"backend {backend!r} requested")
+    return [prop.screen(compiled, checkpoints) for compiled in compiled_list]
 
 
 # ----------------------------------------------------------------------

@@ -59,9 +59,24 @@ class TestCommittedBaseline:
         _, campaign_doc = committed_trajectory
         assert campaign_doc["suite"] == "campaign"
         assert campaign_doc["payloads_identical"] is True
-        for case in campaign_doc["cases"].values():
-            assert case["seconds"] > 0 and case["ns_per_step"] > 0
+        assert campaign_doc["search_eval_payloads_identical"] is True
+        for name, case in campaign_doc["cases"].items():
+            rate = case.get("ns_per_step", case.get("us_per_candidate"))
+            assert case["seconds"] > 0 and rate > 0, name
         assert campaign_doc["headline"]["batched_vs_stream"] > 1.0
+        assert campaign_doc["headline"]["search_eval_auto_vs_python"] > 0
+
+    def test_kernel_screen_lane_committed_and_gated(self, committed_trajectory):
+        from repro.bench import SCREEN_HEADLINE_FLOOR
+
+        kernel_doc, _ = committed_trajectory
+        screen_doc = kernel_doc["screen"]
+        assert screen_doc["verdicts_identical"] is True
+        assert screen_doc["cases"]["vector-screen"]["seconds"] > 0
+        # ISSUE 8's acceptance bar: the committed whole-generation screening
+        # headline clears the absolute floor.
+        headline = kernel_doc["headline"]["vector_screen_vs_reference_screen"]
+        assert headline >= SCREEN_HEADLINE_FLOOR >= 5.0
 
 
 class TestRegressionCheck:
@@ -116,6 +131,42 @@ class TestRegressionCheck:
         broken["payloads_identical"] = False
         failures = check_regression(kernel_doc, broken, REPO_ROOT)
         assert any("payloads differ" in failure for failure in failures)
+
+    def test_screen_headline_below_absolute_floor_fails(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        slow = json.loads(json.dumps(kernel_doc))
+        slow["headline"]["vector_screen_vs_reference_screen"] = 4.9
+        failures = check_regression(slow, campaign_doc, REPO_ROOT)
+        assert any("vector_screen_vs_reference_screen" in f for f in failures)
+        assert any("absolute floor" in f for f in failures)
+
+    def test_screen_verdict_divergence_fails(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        broken = json.loads(json.dumps(kernel_doc))
+        broken["screen"]["verdicts_identical"] = False
+        failures = check_regression(broken, campaign_doc, REPO_ROOT)
+        assert any("verdicts differ" in failure for failure in failures)
+
+    def test_search_eval_payload_divergence_fails(self, committed_trajectory):
+        kernel_doc, campaign_doc = committed_trajectory
+        broken = json.loads(json.dumps(campaign_doc))
+        broken["search_eval_payloads_identical"] = False
+        failures = check_regression(kernel_doc, broken, REPO_ROOT)
+        assert any("search-eval payloads" in failure for failure in failures)
+
+    def test_mode_sensitive_screen_gate_skips_cross_mode(self, committed_trajectory):
+        # A smoke re-measurement of the screening lane is not relative-gated
+        # against a full-mode baseline (the ratio moves structurally with the
+        # batch size), but the absolute floor still applies.
+        from repro.bench import compare_trajectories
+
+        kernel_doc, campaign_doc = committed_trajectory
+        fresh = json.loads(json.dumps(kernel_doc))
+        fresh["config"]["smoke"] = not kernel_doc["config"].get("smoke", False)
+        fresh["headline"]["vector_screen_vs_reference_screen"] = 5.1
+        assert (
+            compare_trajectories(fresh, campaign_doc, kernel_doc, campaign_doc) == []
+        )
 
 
 class TestReporting:

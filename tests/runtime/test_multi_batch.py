@@ -1,0 +1,356 @@
+"""``execute_multi_batch``: per-replica schedules, masks, snapshots, backends.
+
+The multi-schedule sibling of the batch conformance suite.  Every registered
+backend (including the ``auto`` planner) must produce results identical to
+running each replica alone over its own schedule — same outputs, step counts,
+halted sets and register arenas — with per-replica crash masks applied to the
+replica's own buffer and checkpointed snapshots taken column-side on the
+vector lane.  The edge cases ISSUE 8 pins are here too: a generation of one,
+mixed lengths, crash at step 0, and the loud reference fallback for batches
+the planner cannot lower.
+"""
+
+import logging
+import random
+
+import pytest
+import test_backends
+import test_batch
+from repro.core.schedule import CompiledSchedule
+from repro.errors import SimulationError
+from repro.failure_detectors.base import FD_OUTPUT
+from repro.runtime import backends as backends_module
+from repro.runtime.backends import (
+    MultiBatchResult,
+    backend_names,
+    get_backend,
+    plan_backend_for_classes,
+)
+from repro.runtime.kernel import FAST, FAST_TRACED, execute_batch, execute_multi_batch
+from repro.runtime.simulator import Simulator
+from repro.runtime.vector_backend import VectorBackend
+from repro.scenarios.spec import build_generator
+
+observable = test_backends.observable
+result_view = test_backends.result_view
+
+
+@pytest.fixture(params=sorted(backend_names()))
+def backend_name(request):
+    """Every registered backend; unavailable ones skip (e.g. vector sans numpy)."""
+    name = request.param
+    if not get_backend(name).available():
+        pytest.skip(f"backend {name!r} unavailable in this environment")
+    return name
+
+
+def _own_schedules(rng, params, n, replicas, horizon):
+    """One compiled schedule per replica: mixed lengths, one zero-length row."""
+    compileds = []
+    for index in range(replicas):
+        if index == replicas - 1:
+            compileds.append(CompiledSchedule(n=n, steps=[]))
+            continue
+        length = max(1, horizon // (index + 1))
+        source = build_generator(dict(params, seed=rng.randint(0, 10_000)))
+        compileds.append(source.compile(length))
+    return compileds
+
+
+class TestMultiBatchConformance:
+    def test_seeded_sweep_matches_solo_runs(self, backend_name):
+        """Per-replica schedules + masks: identical to one solo run per replica."""
+        backend = get_backend(backend_name)
+        rng = random.Random(20260807)
+        combos = 0
+        while combos < 18:
+            params, horizon = test_batch._random_combination(rng)
+            n = build_generator(params).n
+            if n < 3:
+                continue
+            kind = test_backends.SWEEP_KINDS[combos % len(test_backends.SWEEP_KINDS)]
+            tracked = combos % 2 == 0
+            replicas = 4
+            compileds = _own_schedules(rng, params, n, replicas, horizon)
+            masks = test_backends._random_masks(rng, replicas, n, horizon)
+            ref = [
+                test_backends._make_replicas(kind, rng, n, combos, tracked)
+                for _ in range(replicas)
+            ]
+            new = [
+                test_backends._make_replicas(kind, rng, n, combos, tracked)
+                for _ in range(replicas)
+            ]
+            for index, (sim, _) in enumerate(ref):
+                mask = [masks[index]] if masks is not None else None
+                execute_batch([sim], compileds[index], crash_steps=mask)
+            multi = execute_multi_batch(
+                [sim for sim, _ in new],
+                compileds,
+                crash_steps=masks,
+                backend=backend,
+            )
+            assert isinstance(multi, MultiBatchResult)
+            assert multi.snapshots is None
+            context = f"combo {combos}: {kind} on {params!r} horizon={horizon}"
+            for (rs, rt), (ns, nt), nr in zip(ref, new, multi.results):
+                assert observable(rs) == observable(ns), context
+                assert nr.steps_executed == rs._step_index, context
+                if tracked:
+                    assert rt.changes == nt.changes, context
+            combos += 1
+
+    def test_snapshots_identical_across_backends(self, backend_name):
+        """Checkpoint snapshots match the reference backend's segment walk."""
+        rng = random.Random(7)
+        n, t, k = 4, 2, 2
+        lengths = [0, 1, 31, 173, 600, 601]
+        compileds = [
+            CompiledSchedule(
+                n=n, steps=[rng.randrange(1, n + 1) for _ in range(length)]
+            )
+            for length in lengths
+        ]
+
+        def run(backend):
+            sims = [
+                test_backends._anti_omega_replica(
+                    n,
+                    t,
+                    k,
+                    test_backends.paper_accusation_statistic,
+                    test_backends.paper_timeout_policy,
+                    tracked=False,
+                )[0]
+                for _ in compileds
+            ]
+            return execute_multi_batch(
+                sims,
+                compileds,
+                backend=backend,
+                checkpoints=7,
+                snapshot_keys=(FD_OUTPUT,),
+            )
+
+        reference = run("python")
+        other = run(backend_name)
+        assert other.snapshots == reference.snapshots
+        assert [r.outputs for r in other.results] == [
+            r.outputs for r in reference.results
+        ]
+        assert all(len(row) == 7 for row in other.snapshots)
+
+    def test_snapshot_boundaries_match_prefix_runs(self):
+        """Reference-lane snapshot ``i`` equals the outputs after (L*i)//cp steps."""
+        rng = random.Random(3)
+        n, t, k = 4, 2, 2
+        length, checkpoints = 173, 5
+        compiled = CompiledSchedule(
+            n=n, steps=[rng.randrange(1, n + 1) for _ in range(length)]
+        )
+
+        def fresh():
+            return test_backends._anti_omega_replica(
+                n,
+                t,
+                k,
+                test_backends.paper_accusation_statistic,
+                test_backends.paper_timeout_policy,
+                tracked=False,
+            )[0]
+
+        multi = execute_multi_batch(
+            [fresh()],
+            [compiled],
+            backend="python",
+            checkpoints=checkpoints,
+            snapshot_keys=(FD_OUTPUT,),
+        )
+        for index in range(1, checkpoints + 1):
+            bound = (length * index) // checkpoints
+            solo = fresh()
+            prefix = CompiledSchedule(n=n, steps=compiled.steps[:bound])
+            execute_batch([solo], prefix)
+            expected = {
+                pid: {FD_OUTPUT: solo.output_of(pid, FD_OUTPUT)}
+                for pid in range(1, n + 1)
+            }
+            assert multi.snapshots[0][index - 1] == expected
+
+
+class TestMultiBatchEdgeCases:
+    def _replica(self, n=3):
+        return test_batch._fresh(n, test_batch.ALGORITHMS["token"], tracked=False)[0]
+
+    def test_empty_batch(self, backend_name):
+        result = execute_multi_batch([], [], backend=backend_name)
+        assert result.results == [] and result.snapshots is None
+        with_snapshots = execute_multi_batch(
+            [], [], backend=backend_name, checkpoints=3
+        )
+        assert with_snapshots.snapshots == []
+
+    def test_generation_of_one(self, backend_name):
+        compiled = build_generator({"schedule": "round-robin", "n": 3}).compile(30)
+        solo = self._replica()
+        execute_batch([solo], compiled)
+        fresh = self._replica()
+        multi = execute_multi_batch([fresh], [compiled], backend=backend_name)
+        assert len(multi.results) == 1
+        assert multi.results[0].steps_executed == 30
+        assert observable(solo) == observable(fresh)
+
+    def test_crash_at_step_zero(self, backend_name):
+        compiled = build_generator({"schedule": "round-robin", "n": 3}).compile(30)
+        masks = [{1: 0}]
+        solo = self._replica()
+        execute_batch([solo], compiled, crash_steps=masks)
+        fresh = self._replica()
+        multi = execute_multi_batch(
+            [fresh], [compiled], crash_steps=masks, backend=backend_name
+        )
+        assert observable(solo) == observable(fresh)
+        assert multi.results[0].steps_executed < 30
+
+    def test_max_steps_budgets_each_replica(self, backend_name):
+        compileds = [
+            build_generator({"schedule": "round-robin", "n": 3}).compile(50),
+            build_generator({"schedule": "round-robin", "n": 3}).compile(10),
+        ]
+        multi = execute_multi_batch(
+            [self._replica(), self._replica()],
+            compileds,
+            max_steps=20,
+            backend=backend_name,
+        )
+        assert [r.steps_executed for r in multi.results] == [20, 10]
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(SimulationError, match="exactly one schedule per replica"):
+            execute_multi_batch([self._replica()], [])
+
+    def test_trace_policies_rejected(self):
+        with pytest.raises(SimulationError, match="trace"):
+            execute_multi_batch(
+                [self._replica()],
+                [build_generator({"schedule": "round-robin", "n": 3}).compile(10)],
+                policy=FAST_TRACED,
+            )
+
+    def test_bad_checkpoints_rejected(self):
+        with pytest.raises(SimulationError, match="checkpoints"):
+            execute_multi_batch(
+                [self._replica()],
+                [build_generator({"schedule": "round-robin", "n": 3}).compile(10)],
+                checkpoints=0,
+            )
+
+    def test_mixed_n_rejected(self):
+        with pytest.raises(SimulationError, match="one"):
+            execute_multi_batch(
+                [self._replica(3), self._replica(4)],
+                [
+                    build_generator({"schedule": "round-robin", "n": 3}).compile(10),
+                    build_generator({"schedule": "round-robin", "n": 4}).compile(10),
+                ],
+            )
+
+
+class TestAutoPlanner:
+    def test_lowered_batch_plans_vector(self):
+        if not get_backend("vector").available():
+            pytest.skip("numpy unavailable")
+        from repro.failure_detectors.anti_omega import KAntiOmegaAutomaton
+
+        chosen, reason = plan_backend_for_classes({KAntiOmegaAutomaton})
+        assert chosen == "vector" and reason is None
+
+    def test_unlowerable_batch_plans_python_with_reason(self):
+        class Opaque:
+            pass
+
+        chosen, reason = plan_backend_for_classes({Opaque})
+        assert chosen == "python"
+        assert reason
+
+    def test_auto_falls_back_loudly_and_records_plan(self, caplog):
+        """An unlowerable multi-batch runs on the reference kernel, logged once."""
+        backends_module._WARNED_FALLBACKS.clear()
+        auto = get_backend("auto")
+        compiled = build_generator({"schedule": "round-robin", "n": 3}).compile(30)
+        solo = self_replica = test_batch._fresh(
+            3, test_batch.ALGORITHMS["halting"], tracked=False
+        )[0]
+        with caplog.at_level(logging.WARNING, logger=backends_module._LOGGER.name):
+            execute_multi_batch([self_replica], [compiled], backend="auto")
+        assert auto.last_plan["backend"] == "python"
+        assert auto.last_plan["reason"]
+        if get_backend("vector").available():
+            assert any(
+                "falling back" in record.message for record in caplog.records
+            )
+
+    def test_auto_matches_python_on_lowered_generation(self):
+        """Auto's vector plan is conformant on the anti-Ω generation shape."""
+        rng = random.Random(5)
+        n, t, k = 4, 2, 2
+        compileds = [
+            CompiledSchedule(
+                n=n, steps=[rng.randrange(1, n + 1) for _ in range(length)]
+            )
+            for length in (0, 7, 64, 300)
+        ]
+
+        def run(backend):
+            sims = [
+                test_backends._anti_omega_replica(
+                    n,
+                    t,
+                    k,
+                    test_backends.paper_accusation_statistic,
+                    test_backends.paper_timeout_policy,
+                    tracked=False,
+                )[0]
+                for _ in compileds
+            ]
+            result = execute_multi_batch(sims, compileds, backend=backend)
+            return [observable(sim) for sim in sims], [
+                r.steps_executed for r in result.results
+            ]
+
+        assert run("auto") == run("python")
+
+
+class TestVectorMultiBatchDiagnostics:
+    def test_strict_vector_raises_on_observer_batches(self):
+        if not get_backend("vector").available():
+            pytest.skip("numpy unavailable")
+        sim, _ = test_backends._anti_omega_replica(
+            4,
+            2,
+            2,
+            test_backends.paper_accusation_statistic,
+            test_backends.paper_timeout_policy,
+            tracked=True,
+        )
+        compiled = CompiledSchedule(n=4, steps=[1, 2, 3, 4])
+        backend = VectorBackend(require_lowering=True)
+        with pytest.raises(SimulationError, match="could not lower"):
+            backend.run_multi_batch([sim], [compiled], FAST)
+
+    def test_lenient_vector_falls_back_and_reports(self):
+        if not get_backend("vector").available():
+            pytest.skip("numpy unavailable")
+        sim, _ = test_backends._anti_omega_replica(
+            4,
+            2,
+            2,
+            test_backends.paper_accusation_statistic,
+            test_backends.paper_timeout_policy,
+            tracked=True,
+        )
+        compiled = CompiledSchedule(n=4, steps=[1, 2, 3, 4])
+        backend = VectorBackend()
+        backend.run_multi_batch([sim], [compiled], FAST)
+        assert backend.last_run["vectorized"] is False
+        assert "observer" in backend.last_run["reason"]
