@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..campaign.engine import CampaignEngine, CampaignResult
 from ..campaign.spec import CampaignSpec
 from ..core.solvability import classify, matching_system, separations, solvability_grid
+from ..errors import ConfigurationError
 from ..types import AgreementInstance
 
 Rows = Tuple[List[str], List[List[Any]]]
@@ -72,6 +73,15 @@ def _first_m_processes(n: int, m: int) -> frozenset:
 # E1 — Figure 1: set timeliness vs. individual timeliness
 # ----------------------------------------------------------------------
 
+def figure1_campaign_spec(blocks: Sequence[int] = (2, 4, 8, 16)) -> CampaignSpec:
+    """The E1 prefix sweep as a declarative campaign."""
+    return CampaignSpec(
+        name="figure1",
+        kind="figure1",
+        runs=[{"blocks": block_count} for block_count in blocks],
+    )
+
+
 def figure1_experiment(
     blocks: Sequence[int] = (2, 4, 8, 16),
     engine: Optional[CampaignEngine] = None,
@@ -82,11 +92,7 @@ def figure1_experiment(
     ``q`` (their observed bounds grow with the prefix), but the set
     ``{p1, p2}`` is timely with bound 2 (constant).
     """
-    spec = CampaignSpec(
-        name="figure1",
-        kind="figure1",
-        runs=[{"blocks": block_count} for block_count in blocks],
-    )
+    spec = figure1_campaign_spec(blocks=blocks)
     result = _engine(engine).run(spec)
     headers = ["blocks", "steps", "bound {p1} vs {q}", "bound {p2} vs {q}", "bound {p1,p2} vs {q}"]
     rows = [
@@ -146,6 +152,22 @@ def detector_campaign_spec(
     return CampaignSpec(name="anti-omega-convergence", kind="detector", runs=runs)
 
 
+def detector_seed_grid_campaign_spec(
+    horizon: int = 60_000,
+    seeds: Sequence[int] = (11, 13, 17),
+) -> CampaignSpec:
+    """The E2 sweep crossed with a seed axis (the ``e2-seeds`` campaign)."""
+    base_spec = detector_campaign_spec(horizon=horizon, seed=0)
+    runs: List[Dict[str, Any]] = []
+    for run in base_spec.runs or []:
+        stripped = dict(run)
+        stripped.pop("seed", None)
+        runs.append(stripped)
+    return CampaignSpec(
+        name="e2-seeds", kind="detector", runs=runs, axes={"seed": list(seeds)}
+    )
+
+
 def detector_rows(result: CampaignResult) -> Rows:
     """Shape detector campaign records into the E2 table."""
     headers = [
@@ -189,25 +211,13 @@ def anti_omega_convergence_experiment(
     return detector_rows(_engine(engine).run(spec))
 
 
-def schedule_family_comparison_experiment(
+def schedule_families_campaign_spec(
     horizon: int = 60_000,
     n: int = 4,
     t: int = 2,
     k: int = 2,
-    engine: Optional[CampaignEngine] = None,
-) -> Rows:
-    """Detector behaviour across qualitatively different schedule families.
-
-    Puts the set-timeliness assumption in context: the degree-``k`` detector
-    stabilizes on the fully synchronous round-robin schedule, on classical
-    eventually synchronous schedules, and on set-timely schedules whose
-    members are not individually timely.  The contrast row runs the *same
-    degree* against the carrier-rotation adversary in the boundary
-    configuration ``n = k + 1, t = k`` but asks it for degree ``k - 1`` —
-    the schedule then has no timely set of that size and the winner never
-    settles (this is the E4 separation, shown here alongside the positive
-    families for context).
-    """
+) -> CampaignSpec:
+    """The schedule-family comparison as a declarative campaign."""
     runs: List[Dict[str, Any]] = [
         {
             "family": "round-robin (synchronous)",
@@ -252,7 +262,29 @@ def schedule_family_comparison_experiment(
                 "horizon": horizon,
             }
         )
-    spec = CampaignSpec(name="schedule-families", kind="detector", runs=runs)
+    return CampaignSpec(name="schedule-families", kind="detector", runs=runs)
+
+
+def schedule_family_comparison_experiment(
+    horizon: int = 60_000,
+    n: int = 4,
+    t: int = 2,
+    k: int = 2,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Detector behaviour across qualitatively different schedule families.
+
+    Puts the set-timeliness assumption in context: the degree-``k`` detector
+    stabilizes on the fully synchronous round-robin schedule, on classical
+    eventually synchronous schedules, and on set-timely schedules whose
+    members are not individually timely.  The contrast row runs the *same
+    degree* against the carrier-rotation adversary in the boundary
+    configuration ``n = k + 1, t = k`` but asks it for degree ``k - 1`` —
+    the schedule then has no timely set of that size and the winner never
+    settles (this is the E4 separation, shown here alongside the positive
+    families for context).
+    """
+    spec = schedule_families_campaign_spec(horizon=horizon, n=n, t=t, k=k)
     result = _engine(engine).run(spec)
     headers = [
         "schedule family",
@@ -280,23 +312,8 @@ def schedule_family_comparison_experiment(
     return headers, rows
 
 
-def scenario_family_comparison_experiment(
-    horizon: int = 40_000,
-    engine: Optional[CampaignEngine] = None,
-) -> Rows:
-    """Detector behaviour across the composable scenario families (E10).
-
-    Exercises the scenario layer end to end: the three new families —
-    crash-recovery churn, alternating-synchrony epochs (bounded and growing),
-    and a benign prefix spliced onto a carrier-rotation adversary — plus a
-    perturbed (interleaving-noise) set-timely scenario, all swept through the
-    campaign engine as ordinary ``schedule`` parameters.  The expected shape:
-    churn and bounded epochs still let the degree-``k`` detector settle
-    (everybody is correct and silence windows stay bounded); growing epochs
-    and the spliced adversary drag the winner set back into churn — the
-    splice shows up as a late ``last winner change`` long after the benign
-    prefix ended; noise degrades bounds but not convergence.
-    """
+def scenarios_campaign_spec(horizon: int = 40_000) -> CampaignSpec:
+    """The composable scenario-family comparison as a declarative campaign."""
     runs: List[Dict[str, Any]] = [
         {
             "family": "crash-recovery churn",
@@ -358,7 +375,27 @@ def scenario_family_comparison_experiment(
             "horizon": horizon,
         },
     ]
-    spec = CampaignSpec(name="scenarios", kind="detector", runs=runs)
+    return CampaignSpec(name="scenarios", kind="detector", runs=runs)
+
+
+def scenario_family_comparison_experiment(
+    horizon: int = 40_000,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Detector behaviour across the composable scenario families (E10).
+
+    Exercises the scenario layer end to end: the three new families —
+    crash-recovery churn, alternating-synchrony epochs (bounded and growing),
+    and a benign prefix spliced onto a carrier-rotation adversary — plus a
+    perturbed (interleaving-noise) set-timely scenario, all swept through the
+    campaign engine as ordinary ``schedule`` parameters.  The expected shape:
+    churn and bounded epochs still let the degree-``k`` detector settle
+    (everybody is correct and silence windows stay bounded); growing epochs
+    and the spliced adversary drag the winner set back into churn — the
+    splice shows up as a late ``last winner change`` long after the benign
+    prefix ended; noise degrades bounds but not convergence.
+    """
+    spec = scenarios_campaign_spec(horizon=horizon)
     result = _engine(engine).run(spec)
     headers = [
         "scenario family",
@@ -478,20 +515,11 @@ def agreement_experiment(
 # E4 — Theorem 26 separation on a single adversary schedule family
 # ----------------------------------------------------------------------
 
-def separation_experiment(
+def separation_campaign_spec(
     k: int = 2,
     horizons: Sequence[int] = (40_000, 80_000, 160_000),
-    engine: Optional[CampaignEngine] = None,
-) -> Rows:
-    """The separation ``S^k_{t+1,n}`` solves (t,k,n) but not (t,k-1,n), with n = k+1, t = k.
-
-    The same carrier-rotation schedule is fed to the detector configured for
-    degree ``k`` (the solvable side: it stabilizes early and never churns
-    again) and for degree ``k - 1`` (the machinery for the stronger problem:
-    its winner set keeps churning all the way to every horizon, and the last
-    change grows linearly with the horizon — the empirical face of
-    non-stabilization).
-    """
+) -> CampaignSpec:
+    """The E4 separation probes as a declarative campaign."""
     if k < 2:
         raise ValueError("the separation experiment needs k >= 2 so that k-1 >= 1")
     n = k + 1
@@ -511,7 +539,24 @@ def separation_experiment(
         for degree in (k, k - 1)
         for horizon in horizons
     ]
-    spec = CampaignSpec(name="separation", kind="separation-probe", runs=runs)
+    return CampaignSpec(name="separation", kind="separation-probe", runs=runs)
+
+
+def separation_experiment(
+    k: int = 2,
+    horizons: Sequence[int] = (40_000, 80_000, 160_000),
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """The separation ``S^k_{t+1,n}`` solves (t,k,n) but not (t,k-1,n), with n = k+1, t = k.
+
+    The same carrier-rotation schedule is fed to the detector configured for
+    degree ``k`` (the solvable side: it stabilizes early and never churns
+    again) and for degree ``k - 1`` (the machinery for the stronger problem:
+    its winner set keeps churning all the way to every horizon, and the last
+    change grows linearly with the horizon — the empirical face of
+    non-stabilization).
+    """
+    spec = separation_campaign_spec(k=k, horizons=horizons)
     result = _engine(engine).run(spec)
     headers = [
         "degree",
@@ -719,33 +764,13 @@ def falsification_experiment(
 # A1 / A2 — ablations of the Figure 2 design choices
 # ----------------------------------------------------------------------
 
-def accusation_ablation_experiment(
+def accusation_ablation_campaign_spec(
     horizon: int = 80_000,
     n: int = 4,
     t: int = 2,
     k: int = 2,
-    engine: Optional[CampaignEngine] = None,
-) -> Rows:
-    """Replace the (t+1)-st smallest accusation statistic and observe the damage.
-
-    Two scenarios probe the two directions of Lemma 15:
-
-    * **crashed-min-set** — processes {1, 2} (the lexicographically smallest
-      k-set) are crashed from the start.  The *min* and *median* statistics
-      never let that set's accusation grow past the crashed processes' frozen
-      zero entries, so the winner set converges to a set with no correct
-      member and the detector property fails; the paper's statistic (and, with
-      t+1 = n-1 here, even *max*) moves past it.
-    * **bursty-observer** — process 4 is correct but takes ever-growing bursts
-      of solo steps, during which it accuses every set it does not belong to,
-      so exactly one entry of every such set's counter vector diverges.  The
-      paper's statistic ignores a single divergent entry and stabilizes on a
-      winner set regardless; *max* is forced to avoid divergent sets and lands
-      on a different winner after more churn.  (Making *max* churn forever
-      requires every candidate set to have a divergent entry, which needs a
-      more contrived failure pattern than this workload produces within the
-      default horizon.)
-    """
+) -> CampaignSpec:
+    """The A1 accusation-statistic ablation as a declarative campaign."""
     crashed = frozenset({1, 2})
     scenarios: List[Dict[str, Any]] = [
         {
@@ -777,12 +802,42 @@ def accusation_ablation_experiment(
             "horizon": horizon,
         },
     ]
-    spec = CampaignSpec(
+    return CampaignSpec(
         name="accusation-ablation",
         kind="detector",
         runs=scenarios,
         axes={"statistic": ["paper", "min", "max", "median"]},
     )
+
+
+def accusation_ablation_experiment(
+    horizon: int = 80_000,
+    n: int = 4,
+    t: int = 2,
+    k: int = 2,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """Replace the (t+1)-st smallest accusation statistic and observe the damage.
+
+    Two scenarios probe the two directions of Lemma 15:
+
+    * **crashed-min-set** — processes {1, 2} (the lexicographically smallest
+      k-set) are crashed from the start.  The *min* and *median* statistics
+      never let that set's accusation grow past the crashed processes' frozen
+      zero entries, so the winner set converges to a set with no correct
+      member and the detector property fails; the paper's statistic (and, with
+      t+1 = n-1 here, even *max*) moves past it.
+    * **bursty-observer** — process 4 is correct but takes ever-growing bursts
+      of solo steps, during which it accuses every set it does not belong to,
+      so exactly one entry of every such set's counter vector diverges.  The
+      paper's statistic ignores a single divergent entry and stabilizes on a
+      winner set regardless; *max* is forced to avoid divergent sets and lands
+      on a different winner after more churn.  (Making *max* churn forever
+      requires every candidate set to have a divergent entry, which needs a
+      more contrived failure pattern than this workload produces within the
+      default horizon.)
+    """
+    spec = accusation_ablation_campaign_spec(horizon=horizon, n=n, t=t, k=k)
     result = _engine(engine).run(spec)
     headers = [
         "scenario",
@@ -808,6 +863,32 @@ def accusation_ablation_experiment(
     return headers, rows
 
 
+def timeout_ablation_campaign_spec(
+    horizon: int = 200_000,
+    n: int = 4,
+    t: int = 2,
+    k: int = 2,
+    bound: int = 400,
+) -> CampaignSpec:
+    """The A2 timeout-policy ablation as a declarative campaign."""
+    return CampaignSpec(
+        name="timeout-ablation",
+        kind="detector",
+        base={
+            "schedule": "set-timely",
+            "n": n,
+            "t": t,
+            "k": k,
+            "p_set": frozenset(range(1, k + 1)),
+            "q_set": _first_m_processes(n, t + 1),
+            "bound": bound,
+            "seed": 17,
+            "horizon": horizon,
+        },
+        axes={"policy": ["paper", "doubling", "constant"]},
+    )
+
+
 def timeout_ablation_experiment(
     horizon: int = 200_000,
     n: int = 4,
@@ -825,22 +906,7 @@ def timeout_ablation_experiment(
     churns; the paper's +1 policy and the doubling policy both stabilize, the
     doubling one after fewer expirations.
     """
-    spec = CampaignSpec(
-        name="timeout-ablation",
-        kind="detector",
-        base={
-            "schedule": "set-timely",
-            "n": n,
-            "t": t,
-            "k": k,
-            "p_set": frozenset(range(1, k + 1)),
-            "q_set": _first_m_processes(n, t + 1),
-            "bound": bound,
-            "seed": 17,
-            "horizon": horizon,
-        },
-        axes={"policy": ["paper", "doubling", "constant"]},
-    )
+    spec = timeout_ablation_campaign_spec(horizon=horizon, n=n, t=t, k=k, bound=bound)
     result = _engine(engine).run(spec)
     headers = [
         "policy",
@@ -862,3 +928,51 @@ def timeout_ablation_experiment(
         for record in result.records
     ]
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Named campaign registry (what `repro queue enqueue <name>` expands)
+# ----------------------------------------------------------------------
+
+def named_campaign_spec(
+    name: str,
+    *,
+    horizon: Optional[int] = None,
+    seed: Optional[int] = None,
+    k: int = 2,
+    seeds: Sequence[int] = (11, 13, 17),
+) -> CampaignSpec:
+    """The spec behind a CLI campaign name (``e1``/``e2``/.../``a2``).
+
+    One authoritative mapping from the names ``repro campaign`` and ``repro
+    queue enqueue`` accept to declarative specs, with the same defaults the
+    table-printing harnesses use — so a queue drained out-of-band executes
+    byte-for-byte the same runs the foreground campaign would.
+    """
+    if name == "e1":
+        return figure1_campaign_spec()
+    if name == "e2":
+        return detector_campaign_spec(
+            horizon=horizon or 60_000, seed=seed if seed is not None else 11
+        )
+    if name == "e2-seeds":
+        return detector_seed_grid_campaign_spec(horizon=horizon or 60_000, seeds=seeds)
+    if name == "e3":
+        return agreement_campaign_spec(
+            horizon=horizon or 400_000, seed=seed if seed is not None else 23
+        )
+    if name == "e4":
+        horizons = (horizon,) if horizon is not None else (40_000, 80_000, 160_000)
+        return separation_campaign_spec(k=k, horizons=horizons)
+    if name == "families":
+        return schedule_families_campaign_spec(horizon=horizon or 60_000)
+    if name == "scenarios":
+        return scenarios_campaign_spec(horizon=horizon or 40_000)
+    if name == "a1":
+        return accusation_ablation_campaign_spec(horizon=horizon or 80_000)
+    if name == "a2":
+        return timeout_ablation_campaign_spec(horizon=horizon or 200_000)
+    raise ConfigurationError(
+        f"unknown campaign {name!r}; expected one of e1, e2, e2-seeds, e3, e4, "
+        "families, scenarios, a1, a2"
+    )

@@ -30,8 +30,18 @@ spec, run it through an engine, and shape the records into the paper's tables.
 
 from .cache import ResultCache
 from .engine import CampaignEngine, CampaignResult
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .records import RunRecord, read_jsonl, write_jsonl
 from .spec import CampaignSpec, RunSpec, canonical_json, content_key
+from .queue import (
+    DurableCampaignEngine,
+    EnqueueReport,
+    JobQueue,
+    LeasedJob,
+    QueueStatus,
+    QueueWorker,
+    drain_queue,
+)
 from .runner import (
     available_kinds,
     build_generator,
@@ -52,12 +62,22 @@ __all__ = [
     "CampaignEngine",
     "CampaignResult",
     "CampaignSpec",
+    "DurableCampaignEngine",
+    "EnqueueReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "JobQueue",
+    "LeasedJob",
+    "QueueStatus",
+    "QueueWorker",
     "ResultCache",
     "RunRecord",
     "RunSpec",
     "available_kinds",
     "canonical_json",
     "content_key",
+    "drain_queue",
     "execute_spec",
     "read_jsonl",
     "register_kind",

@@ -9,7 +9,11 @@ persists results *across* campaigns when given a directory.
 Without a directory the cache is a plain in-process dictionary; with one,
 payloads are stored as ``<dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps
 directories small for large sweeps).  Writes go through a temp file + rename
-so a crashed run never leaves a truncated entry behind.
+so a crashed run never leaves a truncated entry behind, and reads *validate*:
+an entry that does not parse back into a JSON object is quarantined (deleted)
+and reported as a miss by both :meth:`ResultCache.get` and
+:meth:`ResultCache.contains`, so a corrupted file can only ever cost a
+re-execution, never a wedged campaign.
 """
 
 from __future__ import annotations
@@ -30,24 +34,52 @@ class ResultCache:
         self._memory: Dict[str, Dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
+        #: Corrupt on-disk entries deleted on sight (see :meth:`_load_disk`).
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / key[:2] / f"{key}.json"
 
+    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read and validate the on-disk entry for ``key``, or None.
+
+        Validation and quarantine live here so :meth:`get` and
+        :meth:`contains` cannot diverge: an entry that fails to parse as a
+        JSON object (truncated write, corrupted disk, injected fault) is
+        *quarantined* — deleted on sight — so it reads as a miss everywhere
+        and the next execution repopulates it, instead of ``contains()``
+        promising a payload that ``get()`` cannot deliver.
+        """
+        path = self._path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if not isinstance(payload, dict):
+            self.quarantined += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletions are fine
+                pass
+            return None
+        self._memory[key] = payload
+        return payload
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached payload for ``key``, or None; updates hit/miss counters."""
+        """The cached payload for ``key``, or None; updates hit/miss counters.
+
+        A corrupt on-disk entry is quarantined (deleted) and reported as a
+        miss — see :meth:`_load_disk`.
+        """
         payload = self._memory.get(key)
         if payload is None and self.directory is not None:
-            path = self._path_for(key)
-            if path.is_file():
-                try:
-                    payload = json.loads(path.read_text(encoding="utf-8"))
-                except (OSError, json.JSONDecodeError):
-                    payload = None
-                else:
-                    self._memory[key] = payload
+            payload = self._load_disk(key)
         if payload is None:
             self.misses += 1
             return None
@@ -66,10 +98,14 @@ class ResultCache:
         os.replace(tmp, path)
 
     def contains(self, key: str) -> bool:
-        """Whether the key is cached (no counter update)."""
+        """Whether ``key`` would be served by :meth:`get` (no hit/miss update).
+
+        Validates on-disk entries exactly like :meth:`get` — a corrupt entry
+        is quarantined and reported absent, never claimed and then missed.
+        """
         if key in self._memory:
             return True
-        return self.directory is not None and self._path_for(key).is_file()
+        return self.directory is not None and self._load_disk(key) is not None
 
     def __len__(self) -> int:
         if self.directory is None:

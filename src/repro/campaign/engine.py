@@ -15,8 +15,13 @@ Execution pipeline for one :class:`~repro.campaign.spec.CampaignSpec`:
    persistent ``ProcessPoolExecutor`` (fork start method when available —
    workers inherit the loaded library, so spawn cost stays in the low
    milliseconds; the pool survives across ``run()`` invocations until
-   :meth:`CampaignEngine.close`).  Per-run wall time is measured *inside* the
-   worker, so the recorded timings stay honest under pooled dispatch.
+   :meth:`CampaignEngine.close`).  Chunks are independent futures harvested
+   as they complete, each persisted to the result cache on arrival; a dead
+   worker (``BrokenProcessPool``) loses only its in-flight chunks, which are
+   salvaged and re-dispatched on a fresh pool (see
+   :meth:`CampaignEngine._execute_pool`).  Per-run wall time is measured
+   *inside* the worker, so the recorded timings stay honest under pooled
+   dispatch.
 6. **Assemble** one :class:`~repro.campaign.records.RunRecord` per grid
    position, in grid order — the record list is identical for any worker
    count, which is what the worker-invariance tests pin down.
@@ -32,14 +37,14 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from contextlib import nullcontext
 
-from ..errors import ConfigurationError
+from ..errors import CampaignError, ConfigurationError
 from .cache import ResultCache
 from .records import RunRecord, record_columns, write_jsonl
 from .runner import (
@@ -136,6 +141,11 @@ class CampaignEngine:
         the pool load-balanced).
     jsonl_path:
         When set, the record list is written there as JSON-lines.
+    dispatch_retries:
+        How many times a pool-breaking worker death (``BrokenProcessPool``)
+        may be absorbed per :meth:`run`.  Each death loses only the chunks
+        that were in flight — completed chunks are already harvested and
+        persisted — and the lost chunks are re-dispatched on a fresh pool.
     """
 
     def __init__(
@@ -144,15 +154,21 @@ class CampaignEngine:
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         jsonl_path: Optional[Union[str, Path]] = None,
+        dispatch_retries: int = 2,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if dispatch_retries < 0:
+            raise ConfigurationError(
+                f"dispatch_retries must be >= 0, got {dispatch_retries}"
+            )
         self.workers = max(1, workers)
         self.cache = cache
         self.chunk_size = chunk_size
         self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
+        self.dispatch_retries = dispatch_retries
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -220,13 +236,13 @@ class CampaignEngine:
         pending = [(key, run_spec) for key, run_spec in unique_specs.items() if key not in payloads]
         elapsed_by_key: Dict[str, float] = {}
         if pending:
+            # Both paths persist each completed payload to the cache the
+            # moment it arrives (_persist_completed), so a crash mid-campaign
+            # forfeits only genuinely unexecuted work — never finished runs.
             if self.workers > 1:
                 self._execute_pool(pending, payloads, elapsed_by_key)
             else:
                 self._execute_inline(pending, payloads, elapsed_by_key)
-            if self.cache is not None:
-                for key, _ in pending:
-                    self.cache.put(key, payloads[key])
 
         records = [
             RunRecord(
@@ -271,6 +287,26 @@ class CampaignEngine:
             groups.setdefault(signature, []).append((key, run_spec))
         return [item for group in groups.values() for item in group]
 
+    def _persist_completed(
+        self,
+        chunk: List[Tuple[str, RunSpec]],
+        chunk_results: List[Tuple[Dict[str, Any], float]],
+        payloads: Dict[str, Dict[str, Any]],
+        elapsed_by_key: Dict[str, float],
+    ) -> None:
+        """Harvest one completed chunk, persisting each payload immediately.
+
+        ``cache.put`` runs here — at chunk-arrival time — not after the whole
+        campaign: a later crash (worker death, BrokenProcessPool, the parent
+        itself dying) can then never forfeit a finished-but-unpersisted
+        result.
+        """
+        for (key, _), (payload, elapsed) in zip(chunk, chunk_results):
+            payloads[key] = payload
+            elapsed_by_key[key] = elapsed
+            if self.cache is not None:
+                self.cache.put(key, payload)
+
     def _execute_inline(
         self,
         pending: List[Tuple[str, RunSpec]],
@@ -283,6 +319,8 @@ class CampaignEngine:
         ):
             payloads[key] = payload
             elapsed_by_key[key] = elapsed
+            if self.cache is not None:
+                self.cache.put(key, payload)
 
     def _execute_pool(
         self,
@@ -290,27 +328,62 @@ class CampaignEngine:
         payloads: Dict[str, Dict[str, Any]],
         elapsed_by_key: Dict[str, float],
     ) -> None:
+        """Chunked submit/as_completed dispatch with worker-death salvage.
+
+        Chunks are submitted as independent futures and harvested as they
+        complete.  When a worker dies hard enough to break the pool (SIGKILL,
+        segfault — ``BrokenProcessPool`` poisons every unfinished future),
+        only the chunks still in flight are lost: everything already
+        harvested stays harvested *and persisted*, the broken pool is torn
+        down, and the lost chunks are re-dispatched on a fresh pool, up to
+        ``dispatch_retries`` pool rebuilds per run.
+        """
         ordered = self._batched_by_schedule(pending)
         chunk_size = self.chunk_size
         if chunk_size is None:
             chunk_size = max(1, len(ordered) // (self.workers * 2) or 1)
-        chunks: List[List[Tuple[str, RunSpec]]] = [
+        remaining: List[List[Tuple[str, RunSpec]]] = [
             ordered[start : start + chunk_size] for start in range(0, len(ordered), chunk_size)
         ]
-        pool = self._ensure_pool()
-        try:
-            compile_schedules = compiled_schedules_enabled()
-            results = pool.map(
-                _execute_chunk,
-                [[spec for _, spec in chunk] for chunk in chunks],
-                [compile_schedules] * len(chunks),
-            )
-            for chunk, chunk_results in zip(chunks, results):
-                for (key, _), (payload, elapsed) in zip(chunk, chunk_results):
-                    payloads[key] = payload
-                    elapsed_by_key[key] = elapsed
-        except BaseException:
-            # A broken pool (worker died, keyboard interrupt) must not leak
-            # into the next run() — tear it down and start fresh next time.
-            self.close()
-            raise
+        compile_schedules = compiled_schedules_enabled()
+        pool_breaks = 0
+        while remaining:
+            pool = self._ensure_pool()
+            lost: List[List[Tuple[str, RunSpec]]] = []
+            last_break: Optional[BaseException] = None
+            try:
+                futures = {
+                    pool.submit(
+                        _execute_chunk, [spec for _, spec in chunk], compile_schedules
+                    ): chunk
+                    for chunk in remaining
+                }
+                for future in as_completed(futures):
+                    chunk = futures[future]
+                    try:
+                        chunk_results = future.result()
+                    except BrokenExecutor as error:
+                        # Every future that was in flight when the pool broke
+                        # resolves with this error; the chunks are intact in
+                        # the parent, so salvage them for re-dispatch.
+                        last_break = error
+                        lost.append(chunk)
+                        continue
+                    self._persist_completed(chunk, chunk_results, payloads, elapsed_by_key)
+            except BaseException:
+                # Anything else (a kind raising, KeyboardInterrupt) must not
+                # leak a wedged pool into the next run() — tear it down.
+                self.close()
+                raise
+            if last_break is not None:
+                self.close()  # the broken pool cannot take more submissions
+                pool_breaks += 1
+                if pool_breaks > self.dispatch_retries:
+                    raise CampaignError(
+                        f"worker pool broke {pool_breaks} time(s); "
+                        f"{sum(len(chunk) for chunk in lost)} run(s) in "
+                        f"{len(lost)} chunk(s) still pending after "
+                        f"{self.dispatch_retries} re-dispatch(es) — completed "
+                        "chunks were persisted and re-running resumes from them"
+                    ) from last_break
+            remaining = lost

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the durable campaign service.
+
+The paper's subject is computing correctly while processes crash and recover;
+this module is how the repo *proves* its own campaign service does.  A
+:class:`FaultPlan` is a seeded, reproducible chaos specification over a known
+set of run keys, realized by a :class:`FaultInjector` that queue workers
+consult at two hook points:
+
+* :meth:`FaultInjector.before_run` — just before executing a leased run.
+  Depending on the plan it SIGKILLs the worker process mid-chunk (the
+  crash fault), raises :class:`InjectedFault` (the corrupt-worker fault,
+  exercising retry/backoff/poison), or sleeps past the lease duration (the
+  stall fault, exercising lease expiry and reclaim).
+* :meth:`FaultInjector.after_complete` — just after a run's payload was
+  persisted.  The truncation fault overwrites the run's result-cache entry
+  with a partial JSON prefix, exercising the cache's validate-and-quarantine
+  read path.
+
+Faults are keyed by ``(run key, attempt number)``: every fault fires exactly
+once, on the configured attempt, no matter which worker process happens to
+lease the run or in which order — the attempt counter lives in the durable
+queue, so the chaos schedule is deterministic even though worker interleaving
+is not.  That is what makes the differential acceptance test meaningful: a
+chaos-ridden, twice-resumed campaign must produce records byte-identical to
+an unfaulted single-shot run.
+
+The taxonomy (crash / stall / corrupt-result) follows the dynamic-fault-tree
+organization of failure modes: each basic event is independent, deterministic,
+and composable into a campaign-level failure scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..errors import ConfigurationError, ReproError
+from .cache import ResultCache
+
+__all__ = ["InjectedFault", "FaultPlan", "FaultInjector"]
+
+
+class InjectedFault(ReproError):
+    """An artificial worker failure raised by the fault-injection harness.
+
+    Deliberately *not* a :class:`~repro.errors.ConfigurationError`: to the
+    queue it must look exactly like a genuine crashed run, so it travels the
+    ordinary fail → backoff → retry → poison path.
+    """
+
+
+#: Text written over a cache entry by the truncation fault — a syntactically
+#: broken JSON prefix, as a crash mid-write would have left before the cache
+#: became atomic.
+TRUNCATED_PREFIX = '{"truncated": tru'
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic chaos schedule over run keys.
+
+    Each fault set names the run keys it applies to; every fault fires on
+    ``fire_on_attempt`` (default: the first attempt) and only then, so
+    retries of a faulted run proceed cleanly and the campaign converges.
+    The sets are disjoint by construction when built via :meth:`sample`.
+    """
+
+    kill_keys: Tuple[str, ...] = ()
+    error_keys: Tuple[str, ...] = ()
+    stall_keys: Tuple[str, ...] = ()
+    corrupt_keys: Tuple[str, ...] = ()
+    stall_seconds: float = 0.5
+    fire_on_attempt: int = 1
+
+    @staticmethod
+    def sample(
+        keys: Iterable[str],
+        *,
+        seed: int,
+        kills: int = 0,
+        errors: int = 0,
+        stalls: int = 0,
+        corrupts: int = 0,
+        stall_seconds: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan over ``keys`` from one RNG seed.
+
+        The pool is sorted before sampling, so the selection depends only on
+        the key *set* and the seed — not on enqueue order.  Kill, error,
+        stall and corrupt keys are drawn without replacement from one
+        shuffle, so the fault sets never overlap (a run killed *and* stalled
+        would make per-fault accounting ambiguous).
+        """
+        pool = sorted(set(keys))
+        total = kills + errors + stalls + corrupts
+        if total > len(pool):
+            raise ConfigurationError(
+                f"fault plan wants {total} distinct faulted run(s) but only "
+                f"{len(pool)} key(s) are available"
+            )
+        rng = random.Random(seed)
+        drawn = rng.sample(pool, total)
+        cursor = 0
+
+        def take(count: int) -> Tuple[str, ...]:
+            nonlocal cursor
+            part = tuple(drawn[cursor : cursor + count])
+            cursor += count
+            return part
+
+        return FaultPlan(
+            kill_keys=take(kills),
+            error_keys=take(errors),
+            stall_keys=take(stalls),
+            corrupt_keys=take(corrupts),
+            stall_seconds=stall_seconds,
+        )
+
+    def describe(self) -> str:
+        """One line naming how many of each fault the plan injects."""
+        return (
+            f"fault plan: {len(self.kill_keys)} kill(s), "
+            f"{len(self.error_keys)} injected error(s), "
+            f"{len(self.stall_keys)} stall(s) of {self.stall_seconds}s, "
+            f"{len(self.corrupt_keys)} cache truncation(s), "
+            f"firing on attempt {self.fire_on_attempt}"
+        )
+
+    def total_faults(self) -> int:
+        """How many distinct runs the plan faults."""
+        return (
+            len(self.kill_keys)
+            + len(self.error_keys)
+            + len(self.stall_keys)
+            + len(self.corrupt_keys)
+        )
+
+
+class FaultInjector:
+    """Realizes a :class:`FaultPlan` inside a queue worker.
+
+    Stateless across calls by design — whether a fault fires depends only on
+    the ``(key, attempt)`` pair, so a worker that is killed and replaced by a
+    fresh process makes exactly the decisions its predecessor would have.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._kills = frozenset(plan.kill_keys)
+        self._errors = frozenset(plan.error_keys)
+        self._stalls = frozenset(plan.stall_keys)
+        self._corrupts = frozenset(plan.corrupt_keys)
+
+    def before_run(self, key: str, attempt: int) -> None:
+        """Crash, fail or stall the worker before it executes ``key``.
+
+        Called by the worker after leasing, before :func:`execute_spec`.  A
+        kill is a raw ``SIGKILL`` to our own process — no cleanup handlers,
+        no lease release, exactly what a power cut or OOM kill looks like to
+        the queue.
+        """
+        if attempt != self.plan.fire_on_attempt:
+            return
+        if key in self._kills:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if key in self._errors:
+            raise InjectedFault(f"injected worker exception for run {key[:12]}")
+        if key in self._stalls:
+            time.sleep(self.plan.stall_seconds)
+
+    def after_complete(self, key: str, attempt: int, cache: Optional[ResultCache]) -> None:
+        """Truncate the freshly written cache entry for ``key``.
+
+        Only meaningful for directory-backed caches; overwrites the entry
+        with a broken JSON prefix so the next read must detect and
+        quarantine it.
+        """
+        if attempt != self.plan.fire_on_attempt or key not in self._corrupts:
+            return
+        if cache is None or cache.directory is None:
+            return
+        path = cache._path_for(key)
+        if path.is_file():
+            path.write_text(TRUNCATED_PREFIX, encoding="utf-8")
+        # The worker-local memory layer would mask the corruption; drop it so
+        # the fault is observable by this very process too.
+        cache._memory.pop(key, None)

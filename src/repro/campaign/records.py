@@ -10,7 +10,8 @@ without re-running anything.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import os
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Union
 
@@ -48,6 +49,18 @@ class RunRecord:
     def to_json_line(self) -> str:
         return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
+    def canonical(self) -> "RunRecord":
+        """This record with the volatile execution fields normalized away.
+
+        ``cached`` and ``elapsed`` describe *how* a payload was obtained
+        (served from cache vs. executed, and how long the execution took) —
+        they legitimately differ between a fresh run, a cache-served replay,
+        and a crash-resumed queue drain.  Everything else is the scientific
+        record, which must be byte-identical across all of those paths; the
+        chaos differential tests compare canonical records.
+        """
+        return replace(self, cached=False, elapsed=0.0)
+
     @staticmethod
     def from_json_line(line: str) -> "RunRecord":
         raw = json.loads(line)
@@ -80,16 +93,31 @@ def record_columns(records: Iterable[RunRecord]) -> "tuple[List[str], List[str]]
     return param_keys, payload_keys
 
 
-def write_jsonl(records: Iterable[RunRecord], path: Union[str, Path]) -> int:
-    """Write records to a JSON-lines file (one record per line); returns the count."""
+def write_jsonl(
+    records: Iterable[RunRecord], path: Union[str, Path], canonical: bool = False
+) -> int:
+    """Write records to a JSON-lines file (one record per line); returns the count.
+
+    The write is atomic: records land in a sibling temp file that is
+    ``os.replace``-d over the target only once every line is flushed, matching
+    :meth:`ResultCache.put`.  A crash mid-write therefore never leaves a
+    truncated record file behind — the reader sees either the previous
+    complete file or the new one.
+
+    ``canonical=True`` writes :meth:`RunRecord.canonical` forms (volatile
+    ``cached``/``elapsed`` fields normalized), which is what the durable-queue
+    drain emits so resumed and single-shot campaigns compare byte-identical.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
     count = 0
-    with target.open("w", encoding="utf-8") as handle:
+    with tmp.open("w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(record.to_json_line())
+            handle.write((record.canonical() if canonical else record).to_json_line())
             handle.write("\n")
             count += 1
+    os.replace(tmp, target)
     return count
 
 

@@ -25,6 +25,7 @@ regenerates.
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from . import __version__
@@ -34,8 +35,9 @@ from .analysis.experiment import (
     accusation_ablation_experiment,
     agreement_experiment,
     anti_omega_convergence_experiment,
-    detector_campaign_spec,
+    detector_seed_grid_campaign_spec,
     figure1_experiment,
+    named_campaign_spec,
     scenario_family_comparison_experiment,
     schedule_family_comparison_experiment,
     separation_experiment,
@@ -44,7 +46,17 @@ from .analysis.experiment import (
     timeout_ablation_experiment,
 )
 from .analysis.reporting import ascii_table, render_solvability_grid
-from .campaign import CampaignEngine, CampaignSpec, ResultCache, read_jsonl
+from .campaign import (
+    CampaignEngine,
+    CampaignSpec,
+    DurableCampaignEngine,
+    FaultPlan,
+    JobQueue,
+    QueueWorker,
+    ResultCache,
+    drain_queue,
+    read_jsonl,
+)
 from .campaign.records import record_columns
 from .core.solvability import matching_system, solvable_frontier
 from .errors import ConfigurationError
@@ -67,6 +79,7 @@ EXPERIMENTS = {
     "scenarios": "list the composable scenario families, or run the detector on one",
     "search": "E11 — adversarial schedule search: falsify → shrink → certify",
     "campaign": "run a named campaign through the parallel campaign engine",
+    "queue": "durable crash-safe campaign queue: enqueue, work, status, drain",
     "report": "re-aggregate a campaign's JSON-lines record file into a table",
     "bench": "run the pinned perf benchmarks and write the BENCH_*.json trajectory",
 }
@@ -86,6 +99,7 @@ EXPERIMENTS_MD_SECTIONS = {
     "scenarios": "E10 — the composable scenario families",
     "search": "E11 — adversarial schedule search (falsify → shrink → certify)",
     "campaign": "E1–E4, E10, A1–A2 (campaign forms) and 'Campaign engine speedup'",
+    "queue": "Durable queue — crash-safe campaigns",
     "report": "Campaign engine speedup (JSON-lines record aggregation)",
     "bench": "Performance trajectory",
 }
@@ -306,6 +320,90 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--jsonl", type=str, default=None, help="write per-run records here")
     campaign.add_argument("--cache-dir", type=str, default=None, help="content-addressed result cache")
     campaign.add_argument("--chunk-size", type=int, default=None, help="runs per dispatched task")
+    campaign.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="DB",
+        help="run through the durable queue in this SQLite database: enqueue "
+        "idempotently, drain with detachable workers, survive crashes; "
+        "re-invoking with the same DB resumes instead of restarting",
+    )
+    campaign.add_argument(
+        "--lease-seconds", type=float, default=None, help="queue lease duration (--resume)"
+    )
+    campaign.add_argument(
+        "--max-attempts", type=int, default=None, help="retry budget per run (--resume)"
+    )
+    campaign.add_argument(
+        "--max-respawns", type=int, default=6, help="crashed-worker respawn budget (--resume)"
+    )
+    chaos = campaign.add_argument_group(
+        "fault injection (--resume only; deterministic, seeded)"
+    )
+    chaos.add_argument("--chaos-seed", type=int, default=0, help="fault-plan sampling seed")
+    chaos.add_argument("--chaos-kills", type=int, default=0, help="workers to SIGKILL mid-run")
+    chaos.add_argument("--chaos-errors", type=int, default=0, help="runs that raise an injected exception")
+    chaos.add_argument("--chaos-stalls", type=int, default=0, help="runs that stall past their lease")
+    chaos.add_argument("--chaos-corrupts", type=int, default=0, help="cache entries to truncate after write")
+    chaos.add_argument(
+        "--chaos-stall-seconds", type=float, default=0.5, help="stall fault duration"
+    )
+
+    queue = subparsers.add_parser(
+        "queue", help=EXPERIMENTS["queue"], epilog=_epilog("queue")
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+
+    q_enqueue = queue_sub.add_parser(
+        "enqueue",
+        help="expand a named campaign into a durable queue (idempotent)",
+        epilog=_epilog("queue"),
+    )
+    q_enqueue.add_argument("name", choices=sorted(CAMPAIGNS), help="campaign to enqueue")
+    q_enqueue.add_argument("--db", type=str, required=True, help="queue database file")
+    q_enqueue.add_argument("--horizon", type=int, default=None, help="override the step horizon")
+    q_enqueue.add_argument("--seed", type=int, default=None, help="schedule seed override (e2/e3)")
+    q_enqueue.add_argument("--k", type=int, default=2, help="degree for the e4 campaign")
+    q_enqueue.add_argument(
+        "--seeds", type=int, nargs="+", default=[11, 13, 17], help="seed axis for e2-seeds"
+    )
+    q_enqueue.add_argument(
+        "--lease-seconds", type=float, default=None, help="queue lease duration"
+    )
+    q_enqueue.add_argument(
+        "--max-attempts", type=int, default=None, help="retry budget per run"
+    )
+
+    q_work = queue_sub.add_parser(
+        "work",
+        help="drain jobs as one detachable worker (run several in parallel terminals)",
+        epilog=_epilog("queue"),
+    )
+    q_work.add_argument("--db", type=str, required=True, help="queue database file")
+    q_work.add_argument("--worker-id", type=str, default=None, help="lease owner name (default: worker-<pid>)")
+    q_work.add_argument("--batch", type=int, default=1, help="jobs claimed per lease call")
+    q_work.add_argument("--max-runs", type=int, default=None, help="retire after this many runs")
+    q_work.add_argument("--cache-dir", type=str, default=None, help="content-addressed result cache")
+
+    q_status = queue_sub.add_parser(
+        "status",
+        help="job counts, backoff/lease state and the poison quarantine",
+        epilog=_epilog("queue"),
+    )
+    q_status.add_argument("--db", type=str, required=True, help="queue database file")
+
+    q_drain = queue_sub.add_parser(
+        "drain",
+        help="drain with N monitored worker processes (crashed workers are respawned)",
+        epilog=_epilog("queue"),
+    )
+    q_drain.add_argument("--db", type=str, required=True, help="queue database file")
+    q_drain.add_argument("--workers", type=int, default=1, help="worker processes")
+    q_drain.add_argument("--cache-dir", type=str, default=None, help="content-addressed result cache")
+    q_drain.add_argument(
+        "--max-respawns", type=int, default=6, help="crashed-worker respawn budget"
+    )
 
     report = subparsers.add_parser(
         "report", help=EXPERIMENTS["report"], epilog=_epilog("report")
@@ -592,7 +690,53 @@ def _run_search(args: argparse.Namespace) -> List[str]:
     return lines
 
 
+def _chaos_plan_factory(args: argparse.Namespace):
+    """The --chaos-* flags as a keys -> FaultPlan callable (None when unused)."""
+    counts = {
+        "kills": args.chaos_kills,
+        "errors": args.chaos_errors,
+        "stalls": args.chaos_stalls,
+        "corrupts": args.chaos_corrupts,
+    }
+    if not any(counts.values()):
+        return None
+
+    def factory(keys: List[str]) -> FaultPlan:
+        return FaultPlan.sample(
+            keys,
+            seed=args.chaos_seed,
+            stall_seconds=args.chaos_stall_seconds,
+            **counts,
+        )
+
+    return factory
+
+
 def _run_campaign(args: argparse.Namespace) -> List[str]:
+    if args.resume is not None:
+        # Durable path: jobs live in the SQLite queue, workers are detachable
+        # processes, and a re-invocation with the same DB resumes the drain.
+        engine = DurableCampaignEngine(
+            args.resume,
+            workers=args.workers,
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            jsonl_path=args.jsonl,
+            fault_plan=_chaos_plan_factory(args),
+            max_respawns=args.max_respawns,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+        )
+        lines = _run_campaign_with_engine(args, engine)
+        lines.append(engine.enqueue_report.summary())
+        drain = engine.drain_report
+        lines.append(
+            f"drained {args.resume} with {drain.workers} worker(s) in "
+            f"{drain.elapsed:.2f}s: {drain.deaths} death(s), "
+            f"{drain.respawns} respawn(s)"
+        )
+        return lines
+    if any((args.chaos_kills, args.chaos_errors, args.chaos_stalls, args.chaos_corrupts)):
+        raise ConfigurationError("--chaos-* flags require --resume <db> (the durable queue)")
     # The engine's worker pool is persistent; a CLI invocation runs exactly
     # one campaign, so tear it down on the way out.
     with CampaignEngine(
@@ -602,6 +746,65 @@ def _run_campaign(args: argparse.Namespace) -> List[str]:
         jsonl_path=args.jsonl,
     ) as engine:
         return _run_campaign_with_engine(args, engine)
+
+
+def _require_queue_db(path: str) -> str:
+    """Reject commands aimed at a queue database that does not exist yet."""
+    if not Path(path).is_file():
+        raise ConfigurationError(
+            f"no queue database at {path!r}; create one with `repro queue enqueue`"
+        )
+    return path
+
+
+def _run_queue(args: argparse.Namespace) -> List[str]:
+    if args.queue_command == "enqueue":
+        spec = named_campaign_spec(
+            args.name,
+            horizon=args.horizon,
+            seed=args.seed,
+            k=args.k,
+            seeds=args.seeds,
+        )
+        with JobQueue(
+            args.db, lease_seconds=args.lease_seconds, max_attempts=args.max_attempts
+        ) as queue:
+            report = queue.enqueue(spec)
+            return [report.summary(), *queue.status().lines()]
+    if args.queue_command == "work":
+        with JobQueue(_require_queue_db(args.db)) as queue:
+            worker = QueueWorker(
+                queue,
+                args.worker_id,
+                cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+                batch=args.batch,
+                max_runs=args.max_runs,
+            )
+            report = worker.run()
+            return [
+                f"worker {report.worker_id}: leased {report.leased}, "
+                f"completed {report.completed}, failed {report.failed}, "
+                f"lost leases {report.lost_leases}",
+                *queue.status().lines(),
+            ]
+    if args.queue_command == "status":
+        with JobQueue(_require_queue_db(args.db)) as queue:
+            return queue.status().lines()
+    if args.queue_command == "drain":
+        drain = drain_queue(
+            _require_queue_db(args.db),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            max_respawns=args.max_respawns,
+        )
+        with JobQueue(args.db) as queue:
+            return [
+                f"drained {args.db} with {drain.workers} worker(s) in "
+                f"{drain.elapsed:.2f}s: {drain.deaths} death(s), "
+                f"{drain.respawns} respawn(s)",
+                *queue.status().lines(),
+            ]
+    raise SystemExit(f"unknown queue command {args.queue_command!r}")  # pragma: no cover
 
 
 def _run_campaign_with_engine(args: argparse.Namespace, engine: CampaignEngine) -> List[str]:
@@ -630,14 +833,8 @@ def _run_campaign_with_engine(args: argparse.Namespace, engine: CampaignEngine) 
         )
         title = CAMPAIGNS["e2"]
     elif args.name == "e2-seeds":
-        base_spec = detector_campaign_spec(horizon=horizon(60_000), seed=0)
-        runs: List[Dict[str, Any]] = []
-        for run in base_spec.runs or []:
-            stripped = dict(run)
-            stripped.pop("seed", None)
-            runs.append(stripped)
-        grid = CampaignSpec(
-            name="e2-seeds", kind="detector", runs=runs, axes={"seed": list(args.seeds)}
+        grid = detector_seed_grid_campaign_spec(
+            horizon=horizon(60_000), seeds=list(args.seeds)
         )
         result = engine.run(grid)
         headers, rows = result.table()
@@ -898,6 +1095,8 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         return _run_solve(args.t, args.k, args.n, args.seed, args.max_steps)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "queue":
+        return _run_queue(args)
     if args.command == "report":
         return _run_report(args.jsonl)
     if args.command == "bench":

@@ -48,3 +48,24 @@ class ProtocolViolationError(ReproError):
 
 class VerificationError(ReproError):
     """A property verifier was asked to check an ill-formed run or trace."""
+
+
+class CampaignError(ReproError):
+    """A campaign execution could not complete.
+
+    Raised by the campaign engine when worker processes keep dying faster
+    than chunks can be salvaged, and by the durable queue when a drain is
+    interrupted or runs are quarantined as poison.  The failure is always
+    *resumable*: completed work has already been persisted (result cache,
+    queue database), so re-running the campaign — or ``repro campaign
+    --resume`` — picks up where the crash left off.
+    """
+
+
+class PoisonedRunsError(CampaignError):
+    """A campaign's records include runs quarantined after ``max_attempts``.
+
+    Poison runs are never silently dropped: the exception message lists every
+    quarantined ``(key, attempts, error)`` triple, and the quarantine table
+    remains queryable via ``repro queue status``.
+    """

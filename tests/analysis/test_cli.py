@@ -195,6 +195,45 @@ class TestEpilogs:
             assert "EXPERIMENTS.md" in subparser.format_help()
 
 
+class TestQueueCommands:
+    def test_enqueue_work_status_roundtrip(self, tmp_path):
+        db = str(tmp_path / "q.db")
+        lines = run(["queue", "enqueue", "e1", "--db", db])
+        assert "4 new job(s)" in lines[0]
+        lines = run(["queue", "enqueue", "e1", "--db", db])  # idempotent
+        assert "0 new job(s)" in lines[0]
+        lines = run(["queue", "work", "--db", db, "--worker-id", "t1"])
+        assert "completed 4" in lines[0]
+        lines = run(["queue", "status", "--db", db])
+        assert "done=4" in lines[0]
+
+    def test_drain_completes_the_queue(self, tmp_path):
+        db = str(tmp_path / "q.db")
+        run(["queue", "enqueue", "e1", "--db", db])
+        lines = run(["queue", "drain", "--db", db, "--workers", "2"])
+        assert "0 death(s)" in lines[0]
+        assert any("done=4" in line for line in lines)
+
+    def test_missing_database_is_a_clean_error(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no queue database"):
+            run(["queue", "status", "--db", str(tmp_path / "absent.db")])
+
+    def test_chaos_flags_require_resume(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--resume"):
+            run(["campaign", "e1", "--chaos-kills", "1"])
+
+    def test_campaign_resume_resumes(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        first = run(["campaign", "e1", "--resume", db, "--workers", "2"])
+        assert any("4 new job(s)" in line for line in first)
+        second = run(["campaign", "e1", "--resume", db])
+        assert any("4 already done" in line for line in second)
+
+
 class TestSearchCommand:
     def test_list_properties(self):
         lines = run(["search", "--list-properties"])

@@ -14,7 +14,7 @@ from repro.campaign import (
     read_jsonl,
     register_kind,
 )
-from repro.errors import ConfigurationError
+from repro.errors import CampaignError, ConfigurationError
 
 HORIZON = 6_000
 
@@ -112,6 +112,32 @@ class TestRecordStreaming:
         headers, rows = result.table()
         assert "n" in headers and "satisfied" in headers
         assert len(rows) == 3
+
+    def test_write_jsonl_is_atomic(self, tmp_path):
+        from repro.campaign.records import write_jsonl
+
+        path = tmp_path / "runs.jsonl"
+        result = CampaignEngine(workers=1).run(_small_spec())
+        write_jsonl(result.records, path)
+        # The temp file was renamed over the target, never left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["runs.jsonl"]
+        # Overwriting goes through the same rename, replacing the content.
+        write_jsonl(result.records[:1], path)
+        assert len(read_jsonl(path)) == 1
+        assert [p.name for p in tmp_path.iterdir()] == ["runs.jsonl"]
+
+    def test_canonical_jsonl_normalizes_volatile_fields(self, tmp_path):
+        from repro.campaign.records import write_jsonl
+
+        cache = ResultCache(tmp_path / "cache")
+        first = CampaignEngine(workers=1, cache=cache).run(_small_spec())
+        second = CampaignEngine(workers=1, cache=cache).run(_small_spec())
+        assert any(r.cached for r in second.records)  # volatile field differs
+        fresh_path, cached_path = tmp_path / "fresh.jsonl", tmp_path / "cached.jsonl"
+        write_jsonl(first.records, fresh_path, canonical=True)
+        write_jsonl(second.records, cached_path, canonical=True)
+        assert fresh_path.read_bytes() == cached_path.read_bytes()
+        assert all(not r.cached and r.elapsed == 0.0 for r in read_jsonl(fresh_path))
 
 
 class TestBatchedSchedules:
@@ -256,3 +282,135 @@ class TestCustomKinds:
             from repro.campaign.runner import _KINDS
 
             _KINDS.pop("echo-test", None)
+
+
+def _suicide_once(params):
+    """SIGKILL the executing pool worker the first time, succeed afterwards.
+
+    Only ever registered for pool runs (``workers >= 2``): executed inline it
+    would kill the test process itself.
+    """
+    import os
+    import signal
+    import time as time_module
+    from pathlib import Path
+
+    # Determinism helper: only die after the named runs have finished, so
+    # which chunks were harvested before the crash is not a race.
+    deadline = time_module.time() + 30.0
+    for done_marker in params.get("await_markers", ()):
+        while not Path(done_marker).exists() and time_module.time() < deadline:
+            time_module.sleep(0.005)
+    if params.get("always_lethal"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if params.get("lethal"):
+        marker = Path(params["marker"])
+        if not marker.exists():
+            marker.write_text("dead", encoding="utf-8")
+            os.kill(os.getpid(), signal.SIGKILL)
+    if params.get("done_marker"):
+        Path(params["done_marker"]).write_text("done", encoding="utf-8")
+    return {"x": params["x"] * 10}
+
+
+@pytest.fixture
+def suicide_kind():
+    register_kind("suicide-once", _suicide_once)
+    yield
+    from repro.campaign.runner import _KINDS
+
+    _KINDS.pop("suicide-once", None)
+
+
+class TestPoolSalvage:
+    """A dead pool worker loses only its in-flight chunk, nothing harvested."""
+
+    def _spec(self, tmp_path, lethal_index=2):
+        runs = [
+            {
+                "x": index,
+                "lethal": index == lethal_index,
+                "marker": str(tmp_path / "marker"),
+            }
+            for index in range(4)
+        ]
+        return CampaignSpec(name="salvage", kind="suicide-once", runs=runs)
+
+    def test_sigkilled_worker_chunk_is_redispatched(self, suicide_kind, tmp_path):
+        engine = CampaignEngine(workers=2, chunk_size=1)
+        try:
+            result = engine.run(self._spec(tmp_path))
+        finally:
+            engine.close()
+        assert (tmp_path / "marker").exists(), "the kill fired"
+        assert [r.payload["x"] for r in result.records] == [0, 10, 20, 30]
+
+    def test_salvaged_records_match_inline_run(self, suicide_kind, tmp_path):
+        pool_engine = CampaignEngine(workers=2, chunk_size=1)
+        try:
+            salvaged = pool_engine.run(self._spec(tmp_path))
+        finally:
+            pool_engine.close()
+        # Inline reference: the marker now exists, so nothing dies.
+        inline = CampaignEngine().run(self._spec(tmp_path))
+        assert [r.canonical() for r in salvaged.records] == [
+            r.canonical() for r in inline.records
+        ]
+
+    def test_completed_chunks_are_persisted_before_the_crash(
+        self, suicide_kind, tmp_path
+    ):
+        # Runs 0 and 1 complete first (the killer waits for their done
+        # markers), so their payloads must reach the cache even though run 2
+        # then kills its worker and the zero re-dispatch budget aborts the
+        # campaign.
+        cache = ResultCache(tmp_path / "cache")
+        engine = CampaignEngine(
+            workers=2, chunk_size=1, cache=cache, dispatch_retries=0
+        )
+        done = [str(tmp_path / f"done-{index}") for index in range(2)]
+        spec = CampaignSpec(
+            name="salvage",
+            kind="suicide-once",
+            runs=[
+                {"x": 0, "done_marker": done[0]},
+                {"x": 1, "done_marker": done[1]},
+                {
+                    "x": 2,
+                    "lethal": True,
+                    "marker": str(tmp_path / "marker"),
+                    "await_markers": done,
+                },
+                {"x": 3},
+            ],
+        )
+        expanded = spec.expand()
+        with pytest.raises(CampaignError):
+            engine.run(spec)
+        assert cache.contains(expanded[0].key())
+        assert cache.contains(expanded[1].key())
+        # The engine closed its broken pool and stays reusable: the marker
+        # exists now, so the same spec completes, reusing salvaged payloads.
+        retry = engine.run(spec)
+        assert retry.cache_hits >= 2
+        assert [r.payload["x"] for r in retry.records] == [0, 10, 20, 30]
+        engine.close()
+        engine.close()  # idempotent
+
+    def test_engine_reusable_after_exhausted_redispatch_budget(
+        self, suicide_kind, tmp_path
+    ):
+        engine = CampaignEngine(workers=2, chunk_size=1, dispatch_retries=0)
+        # Lethal on every attempt: no marker, the re-dispatch dies too.
+        spec = CampaignSpec(
+            name="doomed", kind="suicide-once", runs=[{"x": 0, "always_lethal": True}]
+        )
+        with pytest.raises(CampaignError, match="re-dispatch"):
+            engine.run(spec)
+        # A fresh pool is built transparently for the next run.
+        good = CampaignSpec(
+            name="fine", kind="suicide-once", runs=[{"x": 7, "lethal": False}]
+        )
+        result = engine.run(good)
+        assert result.records[0].payload["x"] == 70
+        engine.close()

@@ -1,0 +1,213 @@
+"""The chaos harness and its differential acceptance test.
+
+The headline guarantee of the durable campaign service: a chaos-ridden drain
+— workers SIGKILLed mid-run, injected exceptions, stalls, a truncated cache
+entry — interrupted and resumed through ``repro campaign --resume`` produces
+records byte-identical to an unfaulted single-shot run, with no run ever
+executing more than ``max_attempts`` times.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    DurableCampaignEngine,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    JobQueue,
+    QueueWorker,
+    ResultCache,
+)
+from repro.campaign.faults import TRUNCATED_PREFIX
+from repro.cli import run
+from repro.errors import CampaignError, ConfigurationError, PoisonedRunsError
+
+KEYS = [f"key-{index:02d}" for index in range(12)]
+
+_BASE = {
+    "schedule": "set-timely",
+    "n": 3,
+    "t": 2,
+    "bound": 3,
+    "crashes": frozenset(),
+    "p_set": frozenset({1}),
+    "q_set": frozenset({1, 2, 3}),
+    "horizon": 3_000,
+}
+
+
+def _grid_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="chaos-grid",
+        kind="detector",
+        base=_BASE,
+        runs=[{"k": 1}, {"k": 2}],
+        axes={"seed": [11, 13]},
+    )
+
+
+def _solo_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="chaos-solo", kind="detector", base=dict(_BASE, seed=11), runs=[{"k": 1}]
+    )
+
+
+class TestFaultPlan:
+    def test_sampling_is_deterministic(self):
+        first = FaultPlan.sample(KEYS, seed=7, kills=3, errors=2, stalls=1, corrupts=1)
+        second = FaultPlan.sample(
+            list(reversed(KEYS)), seed=7, kills=3, errors=2, stalls=1, corrupts=1
+        )
+        assert first == second  # order of the key pool must not matter
+
+    def test_fault_sets_are_disjoint(self):
+        plan = FaultPlan.sample(KEYS, seed=3, kills=4, errors=3, stalls=2, corrupts=2)
+        drawn = (
+            set(plan.kill_keys)
+            | set(plan.error_keys)
+            | set(plan.stall_keys)
+            | set(plan.corrupt_keys)
+        )
+        assert len(drawn) == plan.total_faults() == 11
+
+    def test_overdrawn_plan_rejected(self):
+        with pytest.raises(ConfigurationError, match="13"):
+            FaultPlan.sample(KEYS, seed=1, kills=13)
+
+    def test_describe_names_every_fault_class(self):
+        plan = FaultPlan.sample(KEYS, seed=1, kills=1, errors=1, stalls=1, corrupts=1)
+        text = plan.describe()
+        for word in ("kill", "error", "stall", "truncation"):
+            assert word in text
+
+
+class TestFaultInjector:
+    def test_faults_fire_only_on_the_configured_attempt(self):
+        plan = FaultPlan(error_keys=("k",), fire_on_attempt=1)
+        injector = FaultInjector(plan)
+        with pytest.raises(InjectedFault):
+            injector.before_run("k", 1)
+        injector.before_run("k", 2)  # retry proceeds cleanly
+        injector.before_run("other", 1)
+
+    def test_injected_error_travels_the_retry_path(self, tmp_path):
+        spec = _solo_spec()
+        key = spec.expand()[0].key()
+        with JobQueue(tmp_path / "q.db", backoff_base=0.01, backoff_cap=0.01) as queue:
+            queue.enqueue(spec)
+            injector = FaultInjector(FaultPlan(error_keys=(key,)))
+            report = QueueWorker(
+                queue, "w1", injector=injector, poll_interval=0.01
+            ).run()
+            assert report.failed == 1  # the injected first attempt
+            assert report.completed == 1  # the clean retry
+            assert queue.attempts_by_key()[key] == 2
+
+    def test_truncation_fault_is_quarantined_on_next_read(self, tmp_path):
+        spec = _solo_spec()
+        key = spec.expand()[0].key()
+        cache = ResultCache(tmp_path / "cache")
+        with JobQueue(tmp_path / "q.db") as queue:
+            queue.enqueue(spec)
+            injector = FaultInjector(FaultPlan(corrupt_keys=(key,)))
+            QueueWorker(queue, "w1", cache=cache, injector=injector).run()
+        assert cache._path_for(key).read_text(encoding="utf-8") == TRUNCATED_PREFIX
+        fresh = ResultCache(tmp_path / "cache")
+        assert not fresh.contains(key)
+        assert fresh.quarantined == 1
+
+
+class TestChaosDifferential:
+    """The acceptance test from the issue, driven through the real CLI."""
+
+    CHAOS_ARGS = [
+        "--chaos-seed", "29",
+        "--chaos-kills", "3",
+        "--chaos-errors", "1",
+        "--chaos-stalls", "1",
+        "--chaos-corrupts", "1",
+        "--chaos-stall-seconds", "0.05",
+    ]
+
+    def _campaign_args(self, db, jsonl, cache_dir):
+        return [
+            "campaign", "e2",
+            "--horizon", "2000",
+            "--resume", str(db),
+            "--jsonl", str(jsonl),
+            "--cache-dir", str(cache_dir),
+        ]
+
+    def test_chaos_ridden_resumed_run_matches_single_shot(self, tmp_path):
+        chaos_jsonl = tmp_path / "chaos.jsonl"
+        plain_jsonl = tmp_path / "plain.jsonl"
+        chaos_db = tmp_path / "chaos.db"
+        cache_dir = tmp_path / "cache"
+
+        # Single worker + zero respawn budget: the first SIGKILL of each
+        # invocation aborts the drain resumably, so three planned kills force
+        # (at least) three interrupted invocations before one completes.
+        chaos_args = self._campaign_args(chaos_db, chaos_jsonl, cache_dir) + [
+            "--workers", "1",
+            "--max-respawns", "0",
+            "--lease-seconds", "0.5",
+            *self.CHAOS_ARGS,
+        ]
+        resumes = 0
+        for _ in range(12):
+            try:
+                run(chaos_args)
+                break
+            except CampaignError:
+                resumes += 1
+        else:
+            pytest.fail("chaos drain never converged")
+        assert resumes >= 2, "the campaign must survive being resumed repeatedly"
+        assert chaos_jsonl.is_file()
+
+        # The unfaulted single-shot reference, through the same durable path.
+        run(self._campaign_args(tmp_path / "plain.db", plain_jsonl, tmp_path / "c2"))
+        assert chaos_jsonl.read_bytes() == plain_jsonl.read_bytes()
+
+        with JobQueue(chaos_db) as queue:
+            status = queue.status()
+            # Every fault was absorbed: nothing poisoned, nothing dropped...
+            assert status.counts.get("poisoned", 0) == 0
+            assert queue.unfinished() == 0
+            # ...and no run ever executed more than max_attempts times.
+            attempts = queue.attempts_by_key()
+            max_attempts = queue.max_attempts
+            assert max(attempts.values()) <= max_attempts
+            # The kill and error faults each consumed a retry.
+            assert sum(1 for count in attempts.values() if count > 1) >= 3
+
+        # The truncated cache entry is quarantined on its next read, never
+        # served: the fault plan is reconstructible from the same seed.
+        plan = FaultPlan.sample(
+            sorted(attempts), seed=29, kills=3, errors=1, stalls=1, corrupts=1
+        )
+        fresh = ResultCache(cache_dir)
+        (corrupt_key,) = plan.corrupt_keys
+        assert fresh.get(corrupt_key) is None
+        assert fresh.quarantined == 1
+
+    def test_poisoned_runs_are_reported_not_dropped(self, tmp_path):
+        # A retry budget of 1 turns a single injected failure into quarantine:
+        # the resume must *report* the poisoned run, never silently drop it.
+        spec = _grid_spec()
+        doomed_key = spec.expand()[0].key()
+        engine = DurableCampaignEngine(
+            tmp_path / "q.db",
+            fault_plan=lambda keys: FaultPlan(error_keys=(doomed_key,)),
+            max_attempts=1,
+            backoff_base=0.01,
+            backoff_cap=0.01,
+        )
+        with pytest.raises(PoisonedRunsError, match="InjectedFault"):
+            engine.run(spec)
+        with engine.open_queue() as queue:
+            status = queue.status()
+            assert status.counts.get("poisoned") == 1
+            assert status.poison[0][0] == doomed_key
+            assert any("POISON" in line for line in status.lines())

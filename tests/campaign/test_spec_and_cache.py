@@ -105,3 +105,36 @@ class TestResultCache:
         fresh = ResultCache(tmp_path / "cache")
         assert fresh.get(key) is None
         assert fresh.misses == 1
+
+    def test_get_quarantines_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 5})
+        cache.put(key, {"x": 1})
+        path = cache._path_for(key)
+        path.write_text('{"truncated": tru', encoding="utf-8")
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+        assert not path.exists(), "corrupt entry must be deleted, not retried"
+
+    def test_contains_validates_exactly_like_get(self, tmp_path):
+        # The satellite alignment: contains() must never promise a payload
+        # that get() would quarantine.
+        cache = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 6})
+        cache.put(key, {"x": 1})
+        cache._path_for(key).write_text("[1, 2, 3]", encoding="utf-8")  # non-dict
+        fresh = ResultCache(tmp_path / "cache")
+        assert not fresh.contains(key)
+        assert fresh.quarantined == 1
+        assert not cache._path_for(key).exists()
+        assert fresh.get(key) is None
+
+    def test_contains_loads_valid_disk_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = content_key("k", {"n": 7})
+        cache.put(key, {"x": 1})
+        fresh = ResultCache(tmp_path / "cache")
+        assert fresh.contains(key)
+        assert fresh.quarantined == 0
+        assert fresh.get(key) == {"x": 1}

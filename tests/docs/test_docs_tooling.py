@@ -53,6 +53,17 @@ def test_execution_backend_docstring_coverage():
     )
 
 
+def test_durable_queue_docstring_coverage():
+    # Same gate CI runs: the durable campaign service (queue + chaos harness)
+    # is public API surface and must stay fully documented.
+    _assert_fully_documented(
+        [
+            REPO_ROOT / "src" / "repro" / "campaign" / "queue.py",
+            REPO_ROOT / "src" / "repro" / "campaign" / "faults.py",
+        ]
+    )
+
+
 def test_backend_module_doctests_pass():
     # CI's "Backend module doctests" step, mirrored in tier-1: the registry
     # examples must pass with and without numpy (they never import it).
