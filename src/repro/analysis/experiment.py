@@ -931,6 +931,130 @@ def timeout_ablation_experiment(
 
 
 # ----------------------------------------------------------------------
+# E12 — set-timeliness emergence from message timeliness (distsim)
+# ----------------------------------------------------------------------
+
+def dist_emergence_campaign_spec(
+    horizon: int = 2_400,
+    threshold: int = 8,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The E12 latency-distribution sweep as a declarative campaign.
+
+    Every run records a ``dist-sticky-failover`` timeline (coordinator
+    ``p3`` firing requests at the replica set ``{p1, p2}``) and reduces it to
+    a schedule; the axis is the message-latency distribution.  Two arms are
+    controls: ``round-robin`` balancing (both members individually timely —
+    no emergence) and a mid-run partition cutting the coordinator off (the
+    *set* loses timeliness too).
+    """
+    base: Dict[str, Any] = {
+        "schedule": "dist-sticky-failover",
+        "n": 3,
+        "seed": seed,
+        "interval": 8,
+        "epoch": 4,
+        "p_set": [1, 2],
+        "q_set": [3],
+        "horizon": horizon,
+        "threshold": threshold,
+    }
+    runs: List[Dict[str, Any]] = [
+        {**base, "arm": "sticky / constant", "latency": "constant", "latency_scale": 2},
+        {
+            **base,
+            "arm": "sticky / uniform",
+            "latency": "uniform",
+            "latency_scale": 2,
+            "latency_spread": 8,
+        },
+        {
+            **base,
+            "arm": "sticky / pareto α=1.6",
+            "latency": "pareto",
+            "latency_scale": 3,
+            "latency_alpha": 1.6,
+        },
+        {
+            **base,
+            "arm": "sticky / pareto α=1.1",
+            "latency": "pareto",
+            "latency_scale": 3,
+            "latency_alpha": 1.1,
+        },
+        {
+            **base,
+            "arm": "round-robin / constant",
+            "balance": "round-robin",
+            "latency": "constant",
+            "latency_scale": 2,
+        },
+        {
+            **base,
+            "arm": "sticky / partitioned",
+            "latency": "constant",
+            "latency_scale": 2,
+            "partitions": [
+                {"start": 2_000, "duration": 3_000, "groups": [[1, 2], [3]]}
+            ],
+        },
+    ]
+    return CampaignSpec(name="dist-emergence", kind="dist-timeliness", runs=runs)
+
+
+def set_timeliness_emergence_experiment(
+    horizon: int = 2_400,
+    threshold: int = 8,
+    engine: Optional[CampaignEngine] = None,
+) -> Rows:
+    """E12: set timeliness *emerging* from message timeliness, per latency model.
+
+    The paper's central distinction — a set that is timely while no member is
+    — reproduced in a message-passing system instead of being postulated: the
+    sticky-doubling failover workload keeps the replica *set* answering every
+    coordinator request within a couple of request rounds (small set bound),
+    while each individual replica is starved for exponentially growing epochs
+    (member bounds grow with the horizon).  Heavier latency tails widen the
+    set bound; the round-robin and partition arms show the two ways emergence
+    dies (members become timely too / the set loses timeliness as well).
+    """
+    spec = dist_emergence_campaign_spec(horizon=horizon, threshold=threshold)
+    result = _engine(engine).run(spec)
+    headers = [
+        "workload arm",
+        "latency",
+        "set bound {p1,p2}",
+        "best member bound",
+        "predicted bound",
+        "max latency",
+        "set timely",
+        "timely members",
+        "emerged",
+    ]
+    rows = []
+    for record in result.records:
+        payload = record.payload
+        latency = str(record.params["latency"])
+        if record.params.get("latency_alpha") is not None:
+            latency += f"(α={record.params['latency_alpha']})"
+        member_bounds = payload["member_bounds"].values()
+        rows.append(
+            [
+                record.params["arm"],
+                latency,
+                payload["set_bound"],
+                min(member_bounds) if member_bounds else "-",
+                payload["predicted_bound"],
+                payload["messages"]["max_latency"],
+                payload["set_timely"],
+                ",".join(str(pid) for pid in payload["timely_members"]) or "none",
+                payload["emerged"],
+            ]
+        )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
 # Named campaign registry (what `repro queue enqueue <name>` expands)
 # ----------------------------------------------------------------------
 
@@ -972,7 +1096,11 @@ def named_campaign_spec(
         return accusation_ablation_campaign_spec(horizon=horizon or 80_000)
     if name == "a2":
         return timeout_ablation_campaign_spec(horizon=horizon or 200_000)
+    if name == "e12":
+        return dist_emergence_campaign_spec(
+            horizon=horizon or 2_400, seed=seed if seed is not None else 0
+        )
     raise ConfigurationError(
         f"unknown campaign {name!r}; expected one of e1, e2, e2-seeds, e3, e4, "
-        "families, scenarios, a1, a2"
+        "e12, families, scenarios, a1, a2"
     )

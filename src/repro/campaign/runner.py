@@ -90,7 +90,10 @@ def available_kinds() -> List[str]:
 #: (or a fresh interpreter replaying a JSON-lines record) sees one of these
 #: before the owning module was imported, the kind function is resolved on
 #: demand from ``module:attribute`` and registered.
-_LAZY_KINDS = {"search-eval": ("repro.search.engine", "run_search_eval_kind")}
+_LAZY_KINDS = {
+    "search-eval": ("repro.search.engine", "run_search_eval_kind"),
+    "dist-timeliness": ("repro.distsim.reduction", "run_dist_timeliness_kind"),
+}
 
 
 def execute_spec(spec: RunSpec) -> Dict[str, Any]:

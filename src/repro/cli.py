@@ -15,6 +15,8 @@ Usage (installed or from a checkout)::
     python -m repro scenarios crash-churn     # E10: run the detector on one
     python -m repro campaign scenarios        # E10 as a campaign sweep
     python -m repro search --smoke            # E11: falsify -> shrink -> certify
+    python -m repro distsim                   # list message-passing workloads
+    python -m repro distsim --table           # E12: set-timeliness emergence
 
 Every command prints the same ASCII tables the benchmarks record, so the CLI
 is the quickest way to regenerate a single entry of EXPERIMENTS.md; every
@@ -42,6 +44,7 @@ from .analysis.experiment import (
     schedule_family_comparison_experiment,
     separation_experiment,
     separation_statements_experiment,
+    set_timeliness_emergence_experiment,
     solvability_map_experiment,
     timeout_ablation_experiment,
 )
@@ -78,6 +81,8 @@ EXPERIMENTS = {
     "solve": "one end-to-end agreement run in the matching system",
     "scenarios": "list the composable scenario families, or run the detector on one",
     "search": "E11 — adversarial schedule search: falsify → shrink → certify",
+    "distsim": "E12 — message-passing timelines reduced to schedules; set "
+    "timeliness emerges from message timeliness",
     "campaign": "run a named campaign through the parallel campaign engine",
     "queue": "durable crash-safe campaign queue: enqueue, work, status, drain",
     "report": "re-aggregate a campaign's JSON-lines record file into a table",
@@ -98,6 +103,7 @@ EXPERIMENTS_MD_SECTIONS = {
     "solve": "E3 — Theorem 24 / Corollary 25: (t,k,n)-agreement in S^k_{t+1,n}",
     "scenarios": "E10 — the composable scenario families",
     "search": "E11 — adversarial schedule search (falsify → shrink → certify)",
+    "distsim": "E12 — set-timeliness emergence from message timeliness (distsim)",
     "campaign": "E1–E4, E10, A1–A2 (campaign forms) and 'Campaign engine speedup'",
     "queue": "Durable queue — crash-safe campaigns",
     "report": "Campaign engine speedup (JSON-lines record aggregation)",
@@ -120,6 +126,7 @@ CAMPAIGNS = {
     "scenarios": "E10 — detector across the composable scenario families",
     "a1": "A1 — accusation-statistic ablation grid",
     "a2": "A2 — timeout-policy ablation grid",
+    "e12": "E12 — set-timeliness emergence across latency distributions",
 }
 
 
@@ -299,6 +306,61 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--jsonl", type=str, default=None, help="write per-candidate records here")
     search.add_argument(
         "--cache-dir", type=str, default=None, help="content-addressed generation cache"
+    )
+
+    distsim = subparsers.add_parser(
+        "distsim", help=EXPERIMENTS["distsim"], epilog=_epilog("distsim")
+    )
+    distsim.add_argument(
+        "family",
+        nargs="?",
+        default=None,
+        help="message-passing workload family to run (omit to list them)",
+    )
+    distsim.add_argument(
+        "--table",
+        action="store_true",
+        help="run the full E12 sweep (sticky failover, every latency arm) and "
+        "print its table",
+    )
+    distsim.add_argument("--n", type=int, default=3)
+    distsim.add_argument("--seed", type=int, default=0)
+    distsim.add_argument(
+        "--horizon", type=int, default=2_400, help="timeline steps to simulate and reduce"
+    )
+    distsim.add_argument(
+        "--threshold",
+        type=int,
+        default=8,
+        help="timeliness bound at or under which a set counts as timely",
+    )
+    distsim.add_argument(
+        "--p-set",
+        type=int,
+        nargs="+",
+        default=None,
+        help="candidate set S for set timeliness (default: every pid but the highest)",
+    )
+    distsim.add_argument(
+        "--q-set",
+        type=int,
+        nargs="+",
+        default=None,
+        help="observed set Q whose steps S must straddle (default: the highest pid)",
+    )
+    distsim.add_argument(
+        "--census",
+        type=int,
+        default=2_000,
+        help="prefix length for the per-process step census table",
+    )
+    distsim.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra workload parameter (repeatable); comma-separated values become lists",
     )
 
     campaign = subparsers.add_parser(
@@ -596,6 +658,86 @@ def _run_scenarios(args: argparse.Namespace) -> List[str]:
     return lines
 
 
+def _run_distsim(args: argparse.Namespace) -> List[str]:
+    from .distsim import (
+        available_latency_models,
+        dist_family_names,
+        run_timeline,
+        timeliness_report,
+    )
+    from .distsim.workloads import DIST_FAMILIES
+
+    if args.table:
+        headers, rows = set_timeliness_emergence_experiment(
+            horizon=args.horizon, threshold=args.threshold
+        )
+        return [
+            ascii_table(
+                headers,
+                rows,
+                title="E12: set timeliness emerging from message timeliness",
+            )
+        ]
+
+    if args.family is None:
+        lines = ["message-passing workload families (run with `repro distsim <family>`):"]
+        for name in dist_family_names():
+            lines.append(f"  {name:<24} {DIST_FAMILIES[name][1]}")
+        lines.append(
+            "latency models (--set latency=<name>): "
+            + ", ".join(available_latency_models())
+        )
+        return lines
+
+    params: Dict[str, Any] = {"schedule": args.family, "n": args.n, "seed": args.seed}
+    for assignment in args.assignments:
+        key, value = _parse_assignment(assignment)
+        params[key] = value
+    generator = build_scenario_generator(params)
+    timeline = run_timeline(generator, args.horizon)
+
+    lines = [f"workload:  {generator.description}"]
+    census_length = min(args.census, len(timeline))
+    counts: Dict[int, int] = {pid: 0 for pid in range(1, timeline.n + 1)}
+    for pid in timeline.step_pids()[:census_length]:
+        counts[pid] += 1
+    census_rows = [
+        [pid, counts[pid], f"{counts[pid] / max(census_length, 1):.1%}"]
+        for pid in sorted(counts)
+    ]
+    lines.append(
+        ascii_table(
+            ["process", f"steps in first {census_length}", "share"],
+            census_rows,
+            title="reduced schedule census",
+        )
+    )
+    stats = timeline.stats
+    lines.append(
+        ascii_table(
+            ["sent", "delivered", "lost", "partitioned", "to down", "max lat", "mean lat"],
+            [
+                [
+                    stats.sent,
+                    stats.delivered,
+                    stats.dropped_loss,
+                    stats.dropped_partition,
+                    stats.dropped_down,
+                    stats.max_latency,
+                    f"{stats.mean_latency:.2f}",
+                ]
+            ],
+            title="message census",
+        )
+    )
+
+    p_set = args.p_set if args.p_set else list(range(1, timeline.n))
+    q_set = args.q_set if args.q_set else [timeline.n]
+    report = timeliness_report(timeline, p_set, q_set, threshold=args.threshold)
+    lines.extend(report.describe_lines())
+    return lines
+
+
 def _run_search(args: argparse.Namespace) -> List[str]:
     from .search import (
         SearchConfig,
@@ -858,6 +1000,11 @@ def _run_campaign_with_engine(args: argparse.Namespace, engine: CampaignEngine) 
     elif args.name == "a2":
         headers, rows = timeout_ablation_experiment(horizon=horizon(200_000), engine=engine)
         title = CAMPAIGNS["a2"]
+    elif args.name == "e12":
+        headers, rows = set_timeliness_emergence_experiment(
+            horizon=horizon(2_400), engine=engine
+        )
+        title = CAMPAIGNS["e12"]
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown campaign {args.name!r}")
     lines = [ascii_table(headers, rows, title=title)]
@@ -1089,6 +1236,8 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         return [ascii_table(headers, rows, title=EXPERIMENTS["ablation-timeout"])]
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "distsim":
+        return _run_distsim(args)
     if args.command == "search":
         return _run_search(args)
     if args.command == "solve":

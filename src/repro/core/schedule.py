@@ -439,11 +439,21 @@ class CompiledSchedule:
 
         The prefix carries the same faulty hint a generator's ``generate``
         would attach: the processes that have crashed by the end of the prefix.
+
+        A ``length`` beyond the buffer is an error rather than a silent
+        truncation: the faulty hint is computed for the *requested* length, so
+        pairing it with a shorter step tuple would mislabel processes that
+        crash between the buffer's end and ``length`` as already faulty.
         """
         if length is None:
             length = len(self.steps)
         if length < 0:
             raise ScheduleError(f"prefix length must be non-negative, got {length}")
+        if length > len(self.steps):
+            raise ScheduleError(
+                f"prefix length {length} exceeds the compiled buffer "
+                f"({len(self.steps)} steps)"
+            )
         return Schedule(
             steps=tuple(self.steps[:length]),
             n=self.n,

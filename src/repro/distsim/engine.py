@@ -1,0 +1,532 @@
+"""The discrete-event timeline engine: messages, faults, and activations.
+
+The engine simulates ``n`` processes exchanging messages over point-to-point
+channels in integer simulated time.  Its output is a *timeline*: the ordered
+sequence of **activations**, where an activation is either a local tick or a
+message delivery at an alive process.  Each activation is one schedule step —
+this is the bridge to the paper's model: the reduction in
+:mod:`repro.distsim.reduction` projects activations onto their process ids to
+obtain an ordinary schedule over ``Πn``, so set timeliness of the reduced
+schedule is *derived* from tick rates and message latencies instead of being
+postulated.
+
+Fault vocabulary (all windows are :class:`Recurrence` patterns — one-shot
+``[start, start + duration)`` intervals, or repeating every ``period`` time
+units so unbounded timelines stay faultable forever):
+
+* **outages** — a process is down for a window and then recovers; while down
+  it neither ticks usefully nor receives (in-flight messages to it are
+  dropped), but its tick clock keeps running so it resumes on schedule;
+* **partitions** — while active, messages whose endpoints fall in different
+  groups are dropped at send time;
+* **loss windows** — while active, each message is independently dropped with
+  the given rate (per-channel seeded RNG streams);
+* **permanent crashes** — from ``crash_times[pid]`` on, the process never
+  activates again; its tick source is retired, so a fully-crashed system
+  drains its queue and the timeline ends.
+
+Determinism: all randomness comes from per-purpose streams seeded as
+``f"{seed}|{purpose}|{channel}"`` and consumed in event order, and the event
+queue breaks time ties by insertion order — so a fixed :class:`DistConfig`
+replays the identical timeline every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.crash import CrashPattern
+from ..types import ProcessId
+from .events import EventQueue
+from .latency import LatencyModel
+
+#: Events-without-a-step budget: a guard against configurations that can
+#: never activate anybody again yet keep generating queue traffic.
+_STALL_BUDGET = 20_000
+
+
+# ----------------------------------------------------------------------
+# Message policies: who a ticking process sends to
+# ----------------------------------------------------------------------
+
+class MessagePolicy:
+    """Decides the recipients of the messages sent on each tick.
+
+    ``targets(pid, tick_index)`` must be a pure function of its arguments —
+    policies carry no mutable state, which keeps the engine trivially
+    replayable and lets crash calibration re-run the timeline from scratch.
+    """
+
+    def targets(self, pid: ProcessId, tick_index: int) -> Tuple[ProcessId, ...]:
+        """Recipients of the messages ``pid`` sends on its ``tick_index``-th tick."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Readable one-line summary for timeline descriptions."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BroadcastPolicy(MessagePolicy):
+    """Every tick broadcasts to all other processes (heartbeat gossip)."""
+
+    n: int
+
+    def targets(self, pid: ProcessId, tick_index: int) -> Tuple[ProcessId, ...]:
+        """All processes of ``Πn`` except the sender itself."""
+        return tuple(dst for dst in range(1, self.n + 1) if dst != pid)
+
+    def describe(self) -> str:
+        """Readable one-liner (``"broadcast"``)."""
+        return "broadcast"
+
+
+@dataclass(frozen=True)
+class SilentPolicy(MessagePolicy):
+    """Ticks never send messages (pure local activations)."""
+
+    def targets(self, pid: ProcessId, tick_index: int) -> Tuple[ProcessId, ...]:
+        """Nobody — silent ticks only advance the local schedule."""
+        return ()
+
+    def describe(self) -> str:
+        """Readable one-liner (``"silent"``)."""
+        return "silent"
+
+
+@dataclass(frozen=True)
+class FailoverPolicy(MessagePolicy):
+    """A coordinator sends each request to the current primary replica.
+
+    Only ``coordinator`` sends; its ``tick_index``-th request goes to the
+    replica owning that index under one of two balance disciplines:
+
+    * ``sticky=False`` — round-robin: request ``i`` goes to
+      ``replicas[i % len(replicas)]``; every replica hears from the
+      coordinator at a bounded rate, so every *member* is timely.
+    * ``sticky=True`` — sticky epochs with doubling lengths: epoch ``e``
+      lasts ``epoch * 2**e`` requests and is served entirely by
+      ``replicas[e % len(replicas)]``.  This is the message-passing analogue
+      of the paper's Figure 1: the *set* of replicas answers every request
+      (set timely w.r.t. the coordinator with a small bound), while each
+      individual replica is starved for exponentially growing stretches —
+      no member is timely.
+    """
+
+    coordinator: ProcessId
+    replicas: Tuple[ProcessId, ...]
+    epoch: int = 4
+    sticky: bool = True
+
+    def _primary(self, tick_index: int) -> ProcessId:
+        if not self.sticky:
+            return self.replicas[tick_index % len(self.replicas)]
+        remaining = tick_index
+        span = self.epoch
+        era = 0
+        while remaining >= span:
+            remaining -= span
+            span *= 2
+            era += 1
+        return self.replicas[era % len(self.replicas)]
+
+    def targets(self, pid: ProcessId, tick_index: int) -> Tuple[ProcessId, ...]:
+        """The current primary, when ``pid`` is the coordinator; nobody else sends."""
+        if pid != self.coordinator:
+            return ()
+        return (self._primary(tick_index),)
+
+    def describe(self) -> str:
+        """Readable one-liner naming the balance discipline and the roles."""
+        mode = "sticky-doubling" if self.sticky else "round-robin"
+        return (
+            f"failover({mode}, coordinator={self.coordinator}, "
+            f"replicas={sorted(self.replicas)}, epoch={self.epoch})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TickSpec:
+    """One process's local clock.
+
+    ``interval`` is the base inter-tick gap; ``jitter`` widens it uniformly to
+    ``interval * [1 - jitter, 1 + jitter]``; ``arrival_alpha`` (when positive)
+    multiplies it by a Pareto sample with that shape — heavy-tailed
+    inter-arrival times; ``period``/``amplitude`` stretch it diurnally with
+    the same triangle wave the latency models use.
+    """
+
+    interval: int
+    jitter: float = 0.0
+    arrival_alpha: float = 0.0
+    period: int = 0
+    amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ConfigurationError(f"tick interval must be >= 1, got {self.interval}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"tick jitter must lie in [0, 1), got {self.jitter}")
+        if self.arrival_alpha < 0:
+            raise ConfigurationError(
+                f"arrival_alpha must be >= 0, got {self.arrival_alpha}"
+            )
+        if self.period < 0 or self.amplitude < 0:
+            raise ConfigurationError(
+                "tick modulation needs period >= 0 and amplitude >= 0, got "
+                f"period={self.period}, amplitude={self.amplitude}"
+            )
+
+    def next_gap(self, rng: random.Random, now: int) -> int:
+        """Sample the gap to this process's next tick at time ``now``."""
+        gap = float(self.interval)
+        if self.jitter > 0:
+            gap *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        if self.arrival_alpha > 0:
+            gap *= rng.paretovariate(self.arrival_alpha)
+        if self.period > 0 and self.amplitude > 0:
+            phase = (now % self.period) / self.period
+            triangle = 1.0 - abs(2.0 * phase - 1.0)
+            gap *= 1.0 + self.amplitude * triangle
+        return max(1, int(round(gap)))
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """An active-time pattern: one interval, or one repeating every ``period``.
+
+    With ``period == 0`` the pattern is the single interval
+    ``[start, start + duration)``; with ``period > 0`` it is active whenever
+    ``(t - start) % period < duration`` for ``t >= start``, which lets
+    unbounded timelines carry faults forever (rolling restarts, rack outages
+    on a maintenance cadence, nightly partitions).
+    """
+
+    start: int
+    duration: int
+    period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration < 0:
+            raise ConfigurationError(
+                f"recurrence needs start >= 0 and duration >= 0, "
+                f"got start={self.start}, duration={self.duration}"
+            )
+        if self.period < 0:
+            raise ConfigurationError(f"recurrence period must be >= 0, got {self.period}")
+        if self.period and self.duration >= self.period:
+            raise ConfigurationError(
+                f"recurring window must leave a gap: duration={self.duration} "
+                f"must be < period={self.period}"
+            )
+
+    def covers(self, time: int) -> bool:
+        """Whether the pattern is active at simulated ``time``."""
+        if time < self.start:
+            return False
+        if self.period:
+            return (time - self.start) % self.period < self.duration
+        return time < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Outage(Recurrence):
+    """A (possibly recurring) recoverable down window for one process."""
+
+    pid: ProcessId = 0
+
+
+@dataclass(frozen=True)
+class PartitionWindow(Recurrence):
+    """A network partition: messages crossing group boundaries are dropped.
+
+    A process absent from every group is treated as isolated (its own
+    singleton side), so it cannot exchange messages while the partition is
+    active.
+    """
+
+    groups: Tuple[frozenset, ...] = ()
+
+    def blocks(self, src: ProcessId, dst: ProcessId, time: int) -> bool:
+        """Whether a ``src → dst`` message sent at ``time`` is cut."""
+        if not self.covers(time):
+            return False
+        src_side = dst_side = None
+        for index, group in enumerate(self.groups):
+            if src in group:
+                src_side = index
+            if dst in group:
+                dst_side = index
+        if src_side is None:
+            src_side = -1 - src
+        if dst_side is None:
+            dst_side = -1 - dst
+        return src_side != dst_side
+
+
+@dataclass(frozen=True)
+class LossWindow(Recurrence):
+    """A lossy-network window: while active, messages drop with ``rate``."""
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"loss rate must lie in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """A complete, replayable description of one distributed timeline.
+
+    ``ticks`` maps process ids to their local clocks (a process absent from
+    the mapping never ticks — it activates only on deliveries); ``policy``
+    decides the messages sent per tick; ``latency`` delays each message;
+    ``outages``/``partitions``/``loss``/``crash_times`` inject faults.
+    """
+
+    n: int
+    seed: int = 0
+    ticks: Mapping[ProcessId, TickSpec] = field(default_factory=dict)
+    policy: MessagePolicy = field(default_factory=SilentPolicy)
+    latency: Optional[LatencyModel] = None
+    outages: Tuple[Outage, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+    loss: Tuple[LossWindow, ...] = ()
+    crash_times: Mapping[ProcessId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"dist config needs n >= 1, got {self.n}")
+        for pid in list(self.ticks) + list(self.crash_times):
+            if not 1 <= int(pid) <= self.n:
+                raise ConfigurationError(f"dist config mentions unknown process {pid}")
+        for pid, time in self.crash_times.items():
+            if int(time) < 0:
+                raise ConfigurationError(
+                    f"crash time for process {pid} must be >= 0, got {time}"
+                )
+        for outage in self.outages:
+            if not 1 <= outage.pid <= self.n:
+                raise ConfigurationError(f"outage mentions unknown process {outage.pid}")
+
+    def describe(self) -> str:
+        """Readable one-line provenance for compiled schedules and reports."""
+        parts = [f"n={self.n}", f"seed={self.seed}", self.policy.describe()]
+        if self.latency is not None:
+            parts.append(self.latency.describe())
+        if self.outages:
+            parts.append(f"outages={len(self.outages)}")
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        if self.loss:
+            parts.append(f"loss-windows={len(self.loss)}")
+        if self.crash_times:
+            crashes = ", ".join(
+                f"{pid}@{time}" for pid, time in sorted(self.crash_times.items())
+            )
+            parts.append(f"crashes: {crashes}")
+        return "distsim(" + ", ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One activation of the timeline — one step of the reduced schedule.
+
+    ``cause`` is ``"tick"`` or ``"deliver"``; for deliveries ``src`` is the
+    sender and ``send_time`` the instant the message left it.
+    """
+
+    index: int
+    time: int
+    pid: ProcessId
+    cause: str
+    src: ProcessId = 0
+    send_time: int = -1
+
+
+_TICK = 0
+_DELIVER = 1
+_CRASH = 2
+
+
+class TimelineEngine:
+    """Drives one :class:`DistConfig` through simulated time.
+
+    The engine is single-use: :meth:`run` yields :class:`StepRecord` objects
+    in activation order, while the mutable counters (``sent``, ``delivered``,
+    ``dropped_*``, ``crash_index``, latency aggregates) fill in as the run
+    progresses.  The generator ends (``StopIteration``) when the event queue
+    drains — which happens exactly when no process can ever activate again.
+    """
+
+    def __init__(self, config: DistConfig) -> None:
+        self.config = config
+        self.queue: EventQueue = EventQueue()
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_partition = 0
+        self.dropped_down = 0
+        self.max_latency = 0
+        self.total_latency = 0
+        self.crash_index: Dict[ProcessId, int] = {}
+        self._steps_emitted = 0
+        self._crashed: Dict[ProcessId, bool] = {}
+        self._tick_counts: Dict[ProcessId, int] = {}
+        seed = config.seed
+        self._tick_rng = {
+            pid: random.Random(f"{seed}|tick|{pid}") for pid in config.ticks
+        }
+        self._latency_rng: Dict[Tuple[ProcessId, ProcessId], random.Random] = {}
+        self._loss_rng: Dict[Tuple[ProcessId, ProcessId], random.Random] = {}
+        for pid, spec in sorted(config.ticks.items()):
+            self.queue.push(spec.next_gap(self._tick_rng[pid], 0), (_TICK, pid))
+        for pid, time in sorted(config.crash_times.items()):
+            self.queue.push(time, (_CRASH, pid))
+
+    # ------------------------------------------------------------------
+    def _is_down(self, pid: ProcessId, now: int) -> bool:
+        for outage in self.config.outages:
+            if outage.pid == pid and outage.covers(now):
+                return True
+        return False
+
+    def _alive(self, pid: ProcessId, now: int) -> bool:
+        return not self._crashed.get(pid) and not self._is_down(pid, now)
+
+    def _channel_rng(
+        self,
+        cache: Dict[Tuple[ProcessId, ProcessId], random.Random],
+        purpose: str,
+        src: ProcessId,
+        dst: ProcessId,
+    ) -> random.Random:
+        key = (src, dst)
+        rng = cache.get(key)
+        if rng is None:
+            rng = random.Random(f"{self.config.seed}|{purpose}|{src}>{dst}")
+            cache[key] = rng
+        return rng
+
+    def _send(self, src: ProcessId, dst: ProcessId, now: int) -> None:
+        self.sent += 1
+        for partition in self.config.partitions:
+            if partition.blocks(src, dst, now):
+                self.dropped_partition += 1
+                return
+        for window in self.config.loss:
+            if window.covers(now) and window.rate > 0:
+                rng = self._channel_rng(self._loss_rng, "loss", src, dst)
+                if rng.random() < window.rate:
+                    self.dropped_loss += 1
+                    return
+        latency_model = self.config.latency
+        if latency_model is None:
+            delay = 1
+        else:
+            rng = self._channel_rng(self._latency_rng, "lat", src, dst)
+            delay = latency_model.sample(rng, now)
+        self.queue.push(now + delay, (_DELIVER, dst, src, now))
+
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[StepRecord]:
+        """Yield the timeline's activations in deterministic order."""
+        config = self.config
+        stall = 0
+        while self.queue:
+            now, _, event = self.queue.pop()
+            kind = event[0]
+            if kind == _TICK:
+                pid = event[1]
+                if self._crashed.get(pid):
+                    continue  # retired clock: no re-arm, queue can drain
+                tick_index = self._tick_counts.get(pid, 0)
+                self._tick_counts[pid] = tick_index + 1
+                spec = config.ticks[pid]
+                self.queue.push(
+                    now + spec.next_gap(self._tick_rng[pid], now), (_TICK, pid)
+                )
+                if self._is_down(pid, now):
+                    stall += 1
+                    if stall > _STALL_BUDGET:
+                        raise ConfigurationError(
+                            "distsim timeline stalled: no process can activate "
+                            f"(last {stall} events produced no step) — "
+                            f"{config.describe()}"
+                        )
+                    continue
+                stall = 0
+                record = StepRecord(
+                    index=self._steps_emitted, time=now, pid=pid, cause="tick"
+                )
+                self._steps_emitted += 1
+                for dst in config.policy.targets(pid, tick_index):
+                    self._send(pid, dst, now)
+                yield record
+            elif kind == _DELIVER:
+                _, dst, src, send_time = event
+                if not self._alive(dst, now):
+                    self.dropped_down += 1
+                    continue
+                stall = 0
+                latency = now - send_time
+                self.delivered += 1
+                self.total_latency += latency
+                if latency > self.max_latency:
+                    self.max_latency = latency
+                record = StepRecord(
+                    index=self._steps_emitted,
+                    time=now,
+                    pid=dst,
+                    cause="deliver",
+                    src=src,
+                    send_time=send_time,
+                )
+                self._steps_emitted += 1
+                yield record
+            else:  # _CRASH
+                pid = event[1]
+                self._crashed[pid] = True
+                self.crash_index.setdefault(pid, self._steps_emitted)
+
+
+def calibrated_crash_pattern(config: DistConfig) -> CrashPattern:
+    """Translate time-domain crashes into the step-domain :class:`CrashPattern`.
+
+    The paper's crash metadata lives in *step indices* (the global step from
+    which a process never appears), while :class:`DistConfig` prescribes
+    crashes in simulated *time*.  A calibration run replays the timeline just
+    far enough to observe every crash event and records how many steps had
+    been emitted when each one fired — exactly the index conventions
+    :meth:`~repro.schedules.base.ScheduleGenerator.generate` and
+    :meth:`~repro.core.schedule.CompiledSchedule.prefix` expect.
+    """
+    if not config.crash_times:
+        return CrashPattern.none(config.n)
+    engine = TimelineEngine(config)
+    pending = set(config.crash_times)
+    stepper = engine.run()
+    while not pending <= set(engine.crash_index):
+        try:
+            next(stepper)
+        except StopIteration:
+            break
+    missing = pending - set(engine.crash_index)
+    if missing:  # pragma: no cover - crash events always pop before the drain
+        raise ConfigurationError(
+            f"calibration never observed crash events for processes {sorted(missing)}"
+        )
+    return CrashPattern.crashes_at(config.n, dict(engine.crash_index))

@@ -1,0 +1,57 @@
+"""A deterministic discrete-event queue over integer simulated time.
+
+The queue is the heart of the distsim determinism contract: events pop in
+``(time, sequence)`` order, where the sequence number is assigned at push
+time.  Two events scheduled for the same instant therefore pop in the order
+they were scheduled — FIFO tie-breaking — independent of payload contents,
+hashing, or interning, so a fixed configuration always replays the identical
+event order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generic, List, Optional, Tuple, TypeVar
+
+from ..errors import ConfigurationError
+
+EventT = TypeVar("EventT")
+
+
+class EventQueue(Generic[EventT]):
+    """A min-heap of ``(time, seq, event)`` triples with FIFO tie-breaking.
+
+    >>> queue = EventQueue()
+    >>> queue.push(5, "late")
+    >>> queue.push(2, "early")
+    >>> queue.push(2, "early-second")
+    >>> [queue.pop()[2] for _ in range(len(queue))]
+    ['early', 'early-second', 'late']
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, event: EventT) -> None:
+        """Schedule ``event`` at simulated ``time`` (a non-negative integer)."""
+        if time < 0:
+            raise ConfigurationError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (int(time), self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Tuple[int, int, EventT]:
+        """Remove and return the earliest ``(time, seq, event)`` triple."""
+        if not self._heap:
+            raise ConfigurationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        """The time of the earliest pending event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,374 @@
+"""The timeline→schedule reduction: set timeliness *derived* from messages.
+
+This module is the distsim tier's core deliverable.  A recorded
+:class:`Timeline` is lowered by :func:`compile_timeline` to the exact
+:class:`~repro.core.schedule.CompiledSchedule` format the rest of the
+reproduction executes (crash metadata included), and
+:func:`timeliness_report` derives the paper's Definition 1 quantities from
+message-level facts:
+
+* the *reduced-schedule* bounds — ``analyze_timeliness`` run on the
+  projection of activations onto process ids, per set and per member;
+* the *time-domain* quantities that explain them — the largest gap between
+  consecutive ``P`` activations and the smallest gap between consecutive
+  ``Q`` activations; and
+* :func:`predicted_bound`, the soundness bridge: any ``P``-free stretch
+  spans at most ``max_p_gap`` simulated time, during which at most
+  ``⌊max_p_gap / min_q_gap⌋ + 1`` ``Q``-steps fit, so the reduced
+  schedule's minimal bound never exceeds ``⌊max_p_gap / min_q_gap⌋ + 2``.
+
+That inequality is what "set timeliness emerges from message timeliness"
+means operationally: bound the coordinator's request spacing and the
+replicas' response latency and you have bounded the reduced schedule's
+timeliness bound — no postulate required.  The report is consumed by the
+timeliness-matrix/solvability analyses (via the reduced compiled schedule)
+and by experiment E12 through :func:`run_dist_timeliness_kind`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from ..core.schedule import CompiledSchedule
+from ..core.timeliness import analyze_timeliness
+from ..errors import ConfigurationError
+from ..types import ProcessId, ProcessSet, process_set
+from .engine import StepRecord, TimelineEngine
+from .workloads import DistSimGenerator
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Message-level accounting for one recorded timeline."""
+
+    sent: int
+    delivered: int
+    dropped_loss: int
+    dropped_partition: int
+    dropped_down: int
+    max_latency: int
+    mean_latency: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-normalized form for campaign records."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_down": self.dropped_down,
+            "max_latency": self.max_latency,
+            "mean_latency": round(self.mean_latency, 3),
+        }
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A recorded finite prefix of one distributed timeline.
+
+    ``records`` are the activations in order (each one schedule step);
+    ``crash_steps`` is the calibrated step-domain crash metadata of the
+    *infinite* timeline, matching generator conventions, so the lowered
+    compiled schedule round-trips ``prefix()`` faulty hints exactly like the
+    generator path.
+    """
+
+    n: int
+    records: Tuple[StepRecord, ...]
+    crash_steps: Mapping[ProcessId, int]
+    stats: MessageStats
+    description: str
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> int:
+        """Simulated time of the last activation (0 for an empty timeline)."""
+        return self.records[-1].time if self.records else 0
+
+    def step_pids(self) -> Tuple[ProcessId, ...]:
+        """The reduced step sequence: activation process ids in order."""
+        return tuple(record.pid for record in self.records)
+
+
+def run_timeline(generator: DistSimGenerator, length: int) -> Timeline:
+    """Record the first ``length`` activations of a distsim generator.
+
+    Runs a fresh engine over the generator's configuration, so the recorded
+    step sequence is — by the determinism contract — byte-identical to what
+    ``generator.compile(length)`` buffers.  Raises
+    :class:`~repro.errors.ConfigurationError` when the timeline ends early
+    (every process permanently crashed before ``length`` activations).
+    """
+    if not isinstance(generator, DistSimGenerator):
+        raise ConfigurationError(
+            "run_timeline needs a distsim workload generator, got "
+            f"{type(generator).__name__}"
+        )
+    if length < 0:
+        raise ConfigurationError(f"timeline length must be non-negative, got {length}")
+    engine = TimelineEngine(generator.config)
+    records: List[StepRecord] = []
+    stepper = engine.run()
+    while len(records) < length:
+        try:
+            records.append(next(stepper))
+        except StopIteration:
+            raise ConfigurationError(
+                f"{generator.label} timeline ended after {len(records)} of "
+                f"{length} requested steps: no alive process left to schedule"
+            ) from None
+    mean = engine.total_latency / engine.delivered if engine.delivered else 0.0
+    stats = MessageStats(
+        sent=engine.sent,
+        delivered=engine.delivered,
+        dropped_loss=engine.dropped_loss,
+        dropped_partition=engine.dropped_partition,
+        dropped_down=engine.dropped_down,
+        max_latency=engine.max_latency,
+        mean_latency=mean,
+    )
+    return Timeline(
+        n=generator.n,
+        records=tuple(records),
+        crash_steps=dict(generator.crash_pattern.crash_steps),
+        stats=stats,
+        description=generator.description,
+    )
+
+
+def compile_timeline(timeline: Timeline) -> CompiledSchedule:
+    """Lower a recorded timeline to the kernel's compiled-schedule format.
+
+    The buffer is the activation projection; the crash metadata is the
+    timeline's calibrated step-domain pattern.  For any
+    :class:`DistSimGenerator` ``g`` and length ``L``,
+    ``compile_timeline(run_timeline(g, L))`` equals ``g.compile(L)`` byte
+    for byte — the differential conformance suite pins this.
+    """
+    return CompiledSchedule(
+        n=timeline.n,
+        steps=array("i", timeline.step_pids()),
+        crash_steps=dict(timeline.crash_steps),
+        description=timeline.description,
+    )
+
+
+def predicted_bound(max_p_gap: int, min_q_gap: int, total_q_steps: int) -> int:
+    """The message-level upper bound on the reduced schedule's minimal bound.
+
+    Sound for any timeline in which every ``P``-free stretch spans at most
+    ``max_p_gap`` simulated time and consecutive ``Q`` activations are at
+    least ``min_q_gap`` apart: at most ``⌊max_p_gap / min_q_gap⌋ + 1``
+    ``Q``-steps fit in such a stretch, so ``⌊max_p_gap / min_q_gap⌋ + 2``
+    satisfies Definition 1.  When ``min_q_gap`` is zero (simultaneous ``Q``
+    activations) or there are no ``Q`` steps, the bound degrades to the
+    always-valid ``total_q_steps + 1``.
+    """
+    if max_p_gap < 0 or min_q_gap < 0 or total_q_steps < 0:
+        raise ConfigurationError(
+            "predicted_bound needs non-negative arguments, got "
+            f"max_p_gap={max_p_gap}, min_q_gap={min_q_gap}, "
+            f"total_q_steps={total_q_steps}"
+        )
+    if min_q_gap == 0:
+        return total_q_steps + 1
+    return min(max_p_gap // min_q_gap + 2, total_q_steps + 1)
+
+
+def _time_gaps(
+    timeline: Timeline, p_set: ProcessSet, q_set: ProcessSet
+) -> Tuple[int, int]:
+    """``(max_p_gap, min_q_gap)`` in simulated time over the recorded prefix.
+
+    ``max_p_gap`` includes the leading gap (timeline start to first ``P``
+    activation) and the trailing gap (last ``P`` activation to the end), so
+    boundary ``P``-free segments are covered; with no ``P`` activation at all
+    it is the whole duration.  ``min_q_gap`` is the smallest difference
+    between consecutive ``Q`` activation times (0 when two coincide, which
+    makes :func:`predicted_bound` fall back to the trivial bound).
+    """
+    p_times = [record.time for record in timeline.records if record.pid in p_set]
+    q_times = [record.time for record in timeline.records if record.pid in q_set]
+    duration = timeline.duration
+    if p_times:
+        gaps = [p_times[0] - 0, duration - p_times[-1]]
+        gaps.extend(b - a for a, b in zip(p_times, p_times[1:]))
+        max_p_gap = max(gaps)
+    else:
+        max_p_gap = duration
+    if len(q_times) >= 2:
+        min_q_gap = min(b - a for a, b in zip(q_times, q_times[1:]))
+    else:
+        min_q_gap = 0
+    return max_p_gap, min_q_gap
+
+
+@dataclass(frozen=True)
+class DistTimelinessReport:
+    """Set timeliness of ``P`` w.r.t. ``Q``, derived from a recorded timeline.
+
+    ``set_bound`` and ``member_bounds`` come from ``analyze_timeliness`` on
+    the reduced schedule; ``max_p_gap``/``min_q_gap``/``predicted`` are the
+    message-level explanation (``set_bound <= predicted`` always);
+    ``set_timely``/``timely_members`` apply the report's ``threshold``;
+    ``emerged`` is the paper's central distinction made executable — the set
+    is timely (with evidence: the bound is not a finite-prefix artifact)
+    while no individual member is.
+    """
+
+    n: int
+    length: int
+    duration: int
+    p_set: ProcessSet
+    q_set: ProcessSet
+    threshold: int
+    set_bound: int
+    set_saturated: bool
+    set_evidence_ratio: float
+    member_bounds: Mapping[ProcessId, int]
+    max_p_gap: int
+    min_q_gap: int
+    predicted: int
+    stats: MessageStats
+
+    @property
+    def set_timely(self) -> bool:
+        """Whether ``P`` is timely w.r.t. ``Q`` at the threshold, with evidence."""
+        return self.set_bound <= self.threshold and not self.set_saturated
+
+    @property
+    def timely_members(self) -> Tuple[ProcessId, ...]:
+        """Members of ``P`` individually timely w.r.t. ``Q`` at the threshold."""
+        return tuple(
+            pid for pid, bound in sorted(self.member_bounds.items())
+            if bound <= self.threshold
+        )
+
+    @property
+    def emerged(self) -> bool:
+        """True when the set is timely while no individual member is."""
+        return self.set_timely and not self.timely_members
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-normalized form for campaign records and the E12 table."""
+        return {
+            "n": self.n,
+            "length": self.length,
+            "duration": self.duration,
+            "p_set": sorted(self.p_set),
+            "q_set": sorted(self.q_set),
+            "threshold": self.threshold,
+            "set_bound": self.set_bound,
+            "set_saturated": self.set_saturated,
+            "set_evidence_ratio": round(self.set_evidence_ratio, 4),
+            "member_bounds": {
+                str(pid): bound for pid, bound in sorted(self.member_bounds.items())
+            },
+            "set_timely": self.set_timely,
+            "timely_members": list(self.timely_members),
+            "emerged": self.emerged,
+            "max_p_gap": self.max_p_gap,
+            "min_q_gap": self.min_q_gap,
+            "predicted_bound": self.predicted,
+            "messages": self.stats.to_payload(),
+        }
+
+    def describe_lines(self) -> List[str]:
+        """Readable multi-line summary for the CLI."""
+        p = "{" + ",".join(str(pid) for pid in sorted(self.p_set)) + "}"
+        q = "{" + ",".join(str(pid) for pid in sorted(self.q_set)) + "}"
+        members = ", ".join(
+            f"p{pid}:{bound}" for pid, bound in sorted(self.member_bounds.items())
+        )
+        stats = self.stats
+        return [
+            f"set {p} w.r.t. {q}: minimal bound {self.set_bound} "
+            f"(threshold {self.threshold}, evidence {self.set_evidence_ratio:.3f})",
+            f"member bounds: {members}",
+            f"time domain: max P-gap {self.max_p_gap}, min Q-gap {self.min_q_gap}, "
+            f"predicted bound {self.predicted}",
+            f"messages: {stats.sent} sent, {stats.delivered} delivered "
+            f"(loss {stats.dropped_loss}, partition {stats.dropped_partition}, "
+            f"down {stats.dropped_down}), latency mean {stats.mean_latency:.2f} "
+            f"max {stats.max_latency}",
+            f"set timely: {self.set_timely}; timely members: "
+            f"{list(self.timely_members) or 'none'}; emerged: {self.emerged}",
+        ]
+
+
+def timeliness_report(
+    timeline: Timeline,
+    p_set: Iterable[ProcessId],
+    q_set: Iterable[ProcessId],
+    threshold: int = 8,
+) -> DistTimelinessReport:
+    """Derive Definition 1 quantities for ``(P, Q)`` from a recorded timeline."""
+    if threshold < 1:
+        raise ConfigurationError(f"timeliness threshold must be >= 1, got {threshold}")
+    p_frozen = process_set(p_set)
+    q_frozen = process_set(q_set)
+    reduced = compile_timeline(timeline).prefix()
+    witness = analyze_timeliness(reduced, p_frozen, q_frozen)
+    member_bounds = {
+        pid: analyze_timeliness(reduced, {pid}, q_frozen).minimal_bound
+        for pid in sorted(p_frozen)
+    }
+    max_p_gap, min_q_gap = _time_gaps(timeline, p_frozen, q_frozen)
+    predicted = predicted_bound(max_p_gap, min_q_gap, witness.total_q_steps)
+    return DistTimelinessReport(
+        n=timeline.n,
+        length=len(timeline),
+        duration=timeline.duration,
+        p_set=p_frozen,
+        q_set=q_frozen,
+        threshold=threshold,
+        set_bound=witness.minimal_bound,
+        set_saturated=witness.saturated,
+        set_evidence_ratio=witness.evidence_ratio(),
+        member_bounds=member_bounds,
+        max_p_gap=max_p_gap,
+        min_q_gap=min_q_gap,
+        predicted=predicted,
+        stats=timeline.stats,
+    )
+
+
+def run_dist_timeliness_kind(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Campaign kind ``dist-timeliness``: record, reduce, and report.
+
+    ``params`` is a flat JSON-normalized run: the usual scenario-family
+    selection (``schedule`` must name a distsim family) plus ``horizon``,
+    ``p_set``, ``q_set`` and an optional ``threshold``.  Returns the
+    report's payload — one campaign record per parameter combination, which
+    is how E12 sweeps latency-distribution parameters.
+    """
+    from ..scenarios.spec import build_generator
+
+    generator = build_generator(dict(params))
+    if not isinstance(generator, DistSimGenerator):
+        raise ConfigurationError(
+            "dist-timeliness runs need a distsim family (dist-*), got "
+            f"schedule={params.get('schedule')!r}"
+        )
+    horizon = int(params.get("horizon", 2000))
+    p_raw = params.get("p_set")
+    q_raw = params.get("q_set")
+    if not p_raw or not q_raw:
+        raise ConfigurationError(
+            "dist-timeliness runs need non-empty p_set and q_set parameters"
+        )
+    timeline = run_timeline(generator, horizon)
+    report = timeliness_report(
+        timeline,
+        frozenset(int(pid) for pid in p_raw),
+        frozenset(int(pid) for pid in q_raw),
+        threshold=int(params.get("threshold", 8)),
+    )
+    payload = report.to_payload()
+    payload["schedule"] = params.get("schedule")
+    payload["description"] = timeline.description
+    return payload

@@ -22,6 +22,12 @@ A *family* is a named builder from JSON-normalized parameters to a
     :func:`~repro.scenarios.combinators.concat` combinator: detectors
     stabilize on the prefix and are then dragged back into churn.
 
+* the five message-passing distsim workloads (``dist-heavy-tail``,
+  ``dist-diurnal``, ``dist-correlated-failures``, ``dist-rolling-restart``,
+  ``dist-sticky-failover``) — discrete-event timelines reduced to schedules,
+  built in :mod:`repro.distsim.workloads` and registered here so the
+  campaign, bench and search subsystems consume them unchanged.
+
 Campaigns select a family with the ``schedule`` parameter, so every family —
 classic or new — is a sweepable campaign axis.
 """
@@ -32,6 +38,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
+from ..distsim.workloads import DIST_FAMILIES
 from ..errors import ConfigurationError
 from ..runtime.crash import CrashPattern
 from ..schedules.adversary import CarrierRotationAdversary, EventuallySynchronousGenerator
@@ -382,3 +389,5 @@ register_family(
     spliced_adversary,
     "benign prefix spliced onto a carrier-rotation adversarial suffix",
 )
+for _dist_name, (_dist_builder, _dist_description) in sorted(DIST_FAMILIES.items()):
+    register_family(_dist_name, _dist_builder, _dist_description)

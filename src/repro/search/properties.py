@@ -336,7 +336,10 @@ class KAntiOmegaConvergenceProperty(ScheduleProperty):
                     witness = candidate
         # A violation at checkpoint resolution: everyone is outputting, yet no
         # correct process is unsuspected over any final stretch of snapshots.
-        violated = all_produced and stable is None
+        # An empty correct set makes ``all_produced`` vacuously true while no
+        # candidate can ever stabilize — the property is about correct
+        # processes, so such a prefix is unjudgeable, not violated.
+        violated = bool(correct) and all_produced and stable is None
         last_change = _last_change_checkpoint(snapshots, correct, FD_OUTPUT)
         fitness = 1.0 if violated else _delay_fitness(last_change, len(snapshots))
         return PropertyVerdict(
@@ -365,6 +368,23 @@ class KAntiOmegaConvergenceProperty(ScheduleProperty):
         correct = self.correct_set(compiled)
         finals = fd_tracker.final_values()
         all_produced = all(finals.get(pid) is not None for pid in correct)
+        if not correct:
+            # Every process crashed: the property quantifies over correct
+            # processes, and the exact checker rejects an empty correct set
+            # outright — unjudgeable, not a counterexample.
+            return PropertyVerdict(
+                property_name=self.name,
+                violated=False,
+                fitness=0.0,
+                mode="confirm",
+                details={
+                    "witness": None,
+                    "stabilization_step": None,
+                    "horizon": horizon,
+                    "all_correct_produced": all_produced,
+                    "converged_winner_set": None,
+                },
+            )
         verdict = check_k_anti_omega(
             fd_tracker=fd_tracker,
             winner_tracker=winner_tracker,
@@ -376,8 +396,10 @@ class KAntiOmegaConvergenceProperty(ScheduleProperty):
         # A prefix too short for every correct process to even produce an
         # output is unjudgeable, not a counterexample: the shrinker's
         # predicates key off ``all_correct_produced`` to refuse collapsing a
-        # real finding into a trivial startup fragment.
-        violated = not verdict.satisfied and all_produced
+        # real finding into a trivial startup fragment.  Same for an empty
+        # correct set (every process crashed), where ``all_produced`` is
+        # vacuously true yet nothing remains for the property to constrain.
+        violated = bool(correct) and not verdict.satisfied and all_produced
         fitness = (
             1.0 if violated else (verdict.stabilization_step or 0) / max(horizon, 1)
         )
@@ -433,7 +455,9 @@ class LeaderSetConvergenceProperty(KAntiOmegaConvergenceProperty):
 
         stable = _stable_from(snapshots, converged)
         final_values = {final[pid][WINNER_SET] for pid in correct}
-        violated = all_produced and stable is None
+        # ``converged`` can never hold over an empty correct set, and
+        # ``all_produced`` is vacuously true there — unjudgeable, not violated.
+        violated = bool(correct) and all_produced and stable is None
         last_change = _last_change_checkpoint(snapshots, correct, WINNER_SET)
         fitness = 1.0 if violated else _delay_fitness(last_change, len(snapshots))
         return PropertyVerdict(
@@ -464,7 +488,7 @@ class LeaderSetConvergenceProperty(KAntiOmegaConvergenceProperty):
         all_produced = all(finals.get(pid) is not None for pid in correct)
         verdict = check_leader_set_convergence(winner_tracker, correct=correct)
         satisfied = verdict.converged and verdict.contains_correct
-        violated = not satisfied and all_produced
+        violated = bool(correct) and not satisfied and all_produced
         fitness = (
             1.0 if violated else (verdict.stabilization_step or 0) / max(horizon, 1)
         )

@@ -1,0 +1,253 @@
+"""Engine-level invariants of the message-passing discrete-event tier.
+
+These tests pin the determinism contract of :mod:`repro.distsim.engine` at
+the record level — the differential suite (``test_reduction.py``) then pins
+the *reduction* of those records to compiled schedules.
+"""
+
+import pytest
+
+from repro.distsim import EventQueue, latency_from_params, run_timeline
+from repro.distsim.engine import (
+    BroadcastPolicy,
+    DistConfig,
+    FailoverPolicy,
+    LossWindow,
+    Outage,
+    PartitionWindow,
+    Recurrence,
+    TickSpec,
+    TimelineEngine,
+    calibrated_crash_pattern,
+)
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import build_generator
+
+
+def sticky_config(n=3, seed=0, **overrides):
+    ticks = {n: TickSpec(interval=8)}
+    base = dict(
+        n=n,
+        seed=seed,
+        ticks=ticks,
+        policy=FailoverPolicy(coordinator=n, replicas=tuple(range(1, n))),
+        latency=latency_from_params({"latency": "constant", "latency_scale": 2}),
+    )
+    base.update(overrides)
+    return DistConfig(**base)
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_fifo(self):
+        queue = EventQueue()
+        queue.push(5, "late")
+        queue.push(1, "first-at-1")
+        queue.push(1, "second-at-1")
+        queue.push(3, "mid")
+        popped = [queue.pop() for _ in range(len(queue))]
+        assert [event for _, _, event in popped] == [
+            "first-at-1", "second-at-1", "mid", "late",
+        ]
+        assert [time for time, _, _ in popped] == [1, 1, 3, 5]
+
+    def test_peek_time_and_emptiness(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None and not queue
+        queue.push(9, "x")
+        assert queue.peek_time() == 9 and bool(queue)
+        queue.pop()
+        with pytest.raises(ConfigurationError):
+            queue.pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventQueue().push(-1, "x")
+
+
+class TestValidation:
+    def test_tick_spec_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            TickSpec(interval=0)
+        with pytest.raises(ConfigurationError):
+            TickSpec(interval=4, jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            TickSpec(interval=4, arrival_alpha=-1)
+
+    def test_recurrence_covers_one_shot_and_recurring(self):
+        one_shot = Recurrence(start=10, duration=5)
+        assert not one_shot.covers(9)
+        assert one_shot.covers(10) and one_shot.covers(14)
+        assert not one_shot.covers(15)
+        recurring = Recurrence(start=10, duration=5, period=20)
+        # The window recurs forever: [10,15), [30,35), [50,55), ...
+        for cycle in range(5):
+            base = 10 + 20 * cycle
+            assert recurring.covers(base) and recurring.covers(base + 4)
+            assert not recurring.covers(base + 5)
+        assert not recurring.covers(9)
+
+    def test_recurring_duration_must_fit_period(self):
+        with pytest.raises(ConfigurationError):
+            Recurrence(start=0, duration=20, period=20)
+
+    def test_config_rejects_bad_members(self):
+        with pytest.raises(ConfigurationError):
+            DistConfig(n=0)
+        with pytest.raises(ConfigurationError):
+            DistConfig(n=3, ticks={7: TickSpec(interval=4)})
+        with pytest.raises(ConfigurationError):
+            DistConfig(n=3, outages=(Outage(pid=9, start=0, duration=5),))
+        with pytest.raises(ConfigurationError):
+            DistConfig(n=3, crash_times={1: -5})
+        with pytest.raises(ConfigurationError):
+            LossWindow(start=0, duration=10, rate=1.5)
+
+    def test_latency_from_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            latency_from_params({"latency": "no-such-model"})
+        with pytest.raises(ConfigurationError):
+            latency_from_params({"latency": "constant", "latency_scale": 0})
+        with pytest.raises(ConfigurationError):
+            latency_from_params({"latency": "pareto", "latency_alpha": 0})
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_records(self):
+        config = sticky_config()
+        first = [next(TimelineEngine(config).run()) for _ in range(1)]
+        runs = []
+        for _ in range(2):
+            engine = TimelineEngine(config)
+            stepper = engine.run()
+            runs.append([next(stepper) for _ in range(400)])
+        assert runs[0] == runs[1]
+        assert first[0] == runs[0][0]
+
+    def test_different_seed_different_stream(self):
+        params = {"schedule": "dist-heavy-tail", "n": 4}
+        a = run_timeline(build_generator({**params, "seed": 1}), 400)
+        b = run_timeline(build_generator({**params, "seed": 2}), 400)
+        assert a.step_pids() != b.step_pids()
+
+    def test_records_are_time_ordered_with_dense_indices(self):
+        engine = TimelineEngine(sticky_config())
+        stepper = engine.run()
+        records = [next(stepper) for _ in range(300)]
+        assert [r.index for r in records] == list(range(300))
+        assert all(a.time <= b.time for a, b in zip(records, records[1:]))
+
+
+class TestCausality:
+    def test_no_delivery_before_send(self):
+        params = {"schedule": "dist-heavy-tail", "n": 4, "seed": 5}
+        timeline = run_timeline(build_generator(params), 800)
+        delivers = [r for r in timeline.records if r.cause == "deliver"]
+        assert delivers, "broadcast workload must deliver messages"
+        for record in delivers:
+            assert record.send_time >= 0
+            # Latencies are at least one time unit: nothing arrives at or
+            # before the instant it was sent.
+            assert record.time > record.send_time
+
+    def test_tick_records_carry_no_message_provenance(self):
+        params = {"schedule": "dist-rolling-restart", "n": 3, "seed": 2}
+        timeline = run_timeline(build_generator(params), 400)
+        for record in timeline.records:
+            if record.cause == "tick":
+                assert record.src == 0 and record.send_time == -1
+
+
+class TestCrashes:
+    def test_crashed_process_never_steps_again(self):
+        params = {
+            "schedule": "dist-heavy-tail", "n": 4, "seed": 3,
+            "crash_times": {2: 150},
+        }
+        generator = build_generator(params)
+        crash_step = generator.crash_pattern.crash_steps[2]
+        timeline = run_timeline(generator, 600)
+        pids = timeline.step_pids()
+        assert 2 not in pids[crash_step:]
+        assert 2 in pids[:crash_step]
+        assert timeline.crash_steps == {2: crash_step}
+
+    def test_calibration_is_deterministic(self):
+        config = sticky_config(crash_times={1: 200})
+        assert (
+            calibrated_crash_pattern(config).crash_steps
+            == calibrated_crash_pattern(config).crash_steps
+        )
+
+    def test_all_crashed_timeline_ends_with_clear_error(self):
+        params = {
+            "schedule": "dist-heavy-tail", "n": 3, "seed": 0,
+            "crash_times": {1: 100, 2: 120, 3: 140},
+        }
+        with pytest.raises(ConfigurationError, match="no alive process left"):
+            run_timeline(build_generator(params), 10_000)
+        # Prefixes that end before the last crash still reduce fine.
+        short = run_timeline(build_generator(params), 10)
+        assert len(short) == 10
+
+
+class TestFaults:
+    def test_partition_blocks_cross_group_messages(self):
+        groups = (frozenset({1, 2}), frozenset({3}))
+        window = PartitionWindow(start=0, duration=10_000, groups=groups)
+        assert window.blocks(1, 3, 5)
+        assert not window.blocks(1, 2, 5)
+        assert not window.blocks(1, 3, 10_000)
+        config = sticky_config(partitions=(window,))
+        engine = TimelineEngine(config)
+        stepper = engine.run()
+        for _ in range(200):
+            next(stepper)
+        assert engine.dropped_partition > 0
+
+    def test_loss_window_drops_deterministically(self):
+        config = sticky_config(
+            loss=(LossWindow(start=0, duration=2**62, rate=0.5),)
+        )
+        counts = []
+        for _ in range(2):
+            engine = TimelineEngine(config)
+            stepper = engine.run()
+            for _ in range(300):
+                next(stepper)
+            counts.append((engine.sent, engine.dropped_loss))
+        assert counts[0] == counts[1]
+        assert counts[0][1] > 0
+
+    def test_outage_suppresses_steps_and_deliveries(self):
+        config = sticky_config(
+            outages=(Outage(pid=1, start=0, duration=100, period=200),)
+        )
+        engine = TimelineEngine(config)
+        stepper = engine.run()
+        records = [next(stepper) for _ in range(300)]
+        for record in records:
+            if record.pid == 1:
+                assert not Recurrence(start=0, duration=100, period=200).covers(
+                    record.time
+                )
+
+
+class TestPolicies:
+    def test_broadcast_targets_everyone_else(self):
+        policy = BroadcastPolicy(4)
+        assert policy.targets(2, 0) == (1, 3, 4)
+
+    def test_round_robin_failover_cycles(self):
+        # Request i goes to replicas[i % len] — per request, not per epoch.
+        policy = FailoverPolicy(
+            coordinator=3, replicas=(1, 2), epoch=4, sticky=False
+        )
+        targets = [policy.targets(3, tick)[0] for tick in range(8)]
+        assert targets == [1, 2, 1, 2, 1, 2, 1, 2]
+        assert policy.targets(1, 0) == ()
+
+    def test_sticky_doubling_spans_double(self):
+        policy = FailoverPolicy(coordinator=3, replicas=(1, 2), epoch=2, sticky=True)
+        # Eras cover 2, 4, 8, ... ticks; the primary alternates per era.
+        targets = [policy.targets(3, tick)[0] for tick in range(14)]
+        assert targets == [1, 1, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]

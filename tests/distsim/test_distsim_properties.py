@@ -1,0 +1,148 @@
+"""Seeded-random property tests for the distsim tier and its analyses.
+
+Invariants pinned here (over randomized but deterministically seeded
+configurations, per the conventions of the core property suites):
+
+* event-order determinism — identical seeds replay byte-identical timelines;
+* causality — no message is delivered at or before its send instant;
+* crash consistency — emitted schedules never step a crashed process and
+  carry crash metadata matching the calibrated pattern;
+* ``predicted_bound`` is monotone and the observed set bound never exceeds it
+  (soundness of the time-domain prediction);
+* ``timeliness_report`` is monotone in the latency bound: slower constant
+  networks can only worsen the observed set bound.
+"""
+
+import random
+
+import pytest
+
+from repro.distsim import predicted_bound, run_timeline, timeliness_report
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import build_generator
+
+FAMILIES = (
+    "dist-heavy-tail",
+    "dist-diurnal",
+    "dist-correlated-failures",
+    "dist-rolling-restart",
+)
+
+
+def random_params(rng):
+    family = rng.choice(FAMILIES)
+    params = {
+        "schedule": family,
+        "n": rng.randint(3, 6),
+        "seed": rng.randint(0, 10_000),
+    }
+    roll = rng.random()
+    if roll < 0.3:
+        params["loss_rate"] = rng.choice([0.1, 0.3])
+    elif roll < 0.5:
+        params["latency"] = rng.choice(["uniform", "pareto", "exponential"])
+    return params
+
+
+class TestDeterminismProperty:
+    def test_identical_seeds_replay_identically(self):
+        rng = random.Random(1234)
+        for _ in range(12):
+            params = random_params(rng)
+            a = run_timeline(build_generator(params), 300)
+            b = run_timeline(build_generator(params), 300)
+            assert a.records == b.records, params
+            assert a.stats == b.stats, params
+            assert a.crash_steps == b.crash_steps, params
+
+
+class TestCausalityProperty:
+    def test_no_delivery_before_send(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            params = random_params(rng)
+            timeline = run_timeline(build_generator(params), 300)
+            for record in timeline.records:
+                if record.cause == "deliver":
+                    assert record.time > record.send_time >= 0, (params, record)
+
+
+class TestCrashConsistencyProperty:
+    def test_emitted_schedules_respect_crash_metadata(self):
+        rng = random.Random(4321)
+        for _ in range(10):
+            params = random_params(rng)
+            n = params["n"]
+            victim = rng.randint(1, n - 1)
+            params["crash_times"] = {str(victim): rng.randint(100, 600)}
+            generator = build_generator(params)
+            try:
+                timeline = run_timeline(generator, 500)
+            except ConfigurationError:
+                # The crash can starve the run before 500 steps (e.g. the
+                # victim was load-bearing); a shorter prefix must still work.
+                timeline = run_timeline(build_generator(params), 50)
+            assert set(timeline.crash_steps) == {victim}
+            crash_step = timeline.crash_steps[victim]
+            pids = timeline.step_pids()
+            assert victim not in pids[crash_step:], params
+            # The compiled hint convention: crashed processes appear in the
+            # faulty hint exactly from their crash step on.
+            from repro.distsim import compile_timeline
+
+            compiled = compile_timeline(timeline)
+            if crash_step < len(compiled):
+                assert victim in compiled.crashed_by(len(compiled))
+            assert victim not in compiled.crashed_by(max(crash_step - 1, 0))
+
+
+class TestPredictedBound:
+    def test_monotone_in_gap_arguments(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            p_gap = rng.randint(0, 400)
+            q_gap = rng.randint(1, 40)
+            total = rng.randint(1, 500)
+            base = predicted_bound(p_gap, q_gap, total)
+            # Wider P-gaps can only raise the prediction...
+            assert predicted_bound(p_gap + rng.randint(1, 100), q_gap, total) >= base
+            # ...denser Q-steps (smaller min gap) can only raise it too.
+            if q_gap > 1:
+                assert predicted_bound(p_gap, q_gap - 1, total) >= base
+
+    def test_degenerate_arguments(self):
+        # No Q-gap information: only the trivial total_q + 1 cap applies.
+        assert predicted_bound(100, 0, 7) == 8
+        assert predicted_bound(0, 5, 7) == 2
+        with pytest.raises(ConfigurationError):
+            predicted_bound(-1, 5, 7)
+        with pytest.raises(ConfigurationError):
+            predicted_bound(5, -1, 7)
+
+    def test_observed_set_bound_never_exceeds_prediction(self):
+        rng = random.Random(2026)
+        for _ in range(10):
+            params = random_params(rng)
+            n = params["n"]
+            timeline = run_timeline(build_generator(params), 600)
+            report = timeliness_report(timeline, list(range(1, n)), [n])
+            assert report.set_bound <= report.predicted, params
+
+
+class TestLatencyMonotonicity:
+    def test_constant_latency_sweep_is_monotone(self):
+        previous = None
+        for scale in (2, 4, 8, 16, 32):
+            params = {
+                "schedule": "dist-sticky-failover",
+                "n": 3,
+                "seed": 0,
+                "latency": "constant",
+                "latency_scale": scale,
+            }
+            timeline = run_timeline(build_generator(params), 1600)
+            report = timeliness_report(timeline, [1, 2], [3])
+            assert report.set_bound <= report.predicted
+            if previous is not None:
+                assert report.set_bound >= previous, scale
+            previous = report.set_bound

@@ -64,6 +64,13 @@ def test_durable_queue_docstring_coverage():
     )
 
 
+def test_distsim_docstring_coverage():
+    # Same gate CI runs: the message-passing discrete-event tier (engine,
+    # latency models, workload families, timeline→schedule reduction) is
+    # public API surface and must stay fully documented.
+    _assert_fully_documented([REPO_ROOT / "src" / "repro" / "distsim"])
+
+
 def test_backend_module_doctests_pass():
     # CI's "Backend module doctests" step, mirrored in tier-1: the registry
     # examples must pass with and without numpy (they never import it).

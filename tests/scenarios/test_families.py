@@ -31,6 +31,11 @@ class TestRegistry:
             "crash-churn",
             "alternating-epochs",
             "spliced-adversary",
+            "dist-heavy-tail",
+            "dist-diurnal",
+            "dist-correlated-failures",
+            "dist-rolling-restart",
+            "dist-sticky-failover",
         }
         assert all(family_descriptions().values())
 

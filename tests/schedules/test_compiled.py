@@ -81,6 +81,27 @@ class TestCompiledScheduleValidation:
         with pytest.raises(ScheduleError):
             CompiledSchedule(n=2, steps=[1], crash_steps={1: -1})
 
+    def test_prefix_beyond_buffer_raises(self):
+        # Regression: a silently truncated prefix would pair the hint computed
+        # for the requested length with fewer steps than that length implies.
+        compiled = build_generator(FAMILY_PARAMS[0]).compile(100)
+        with pytest.raises(ScheduleError, match="exceeds the compiled buffer"):
+            compiled.prefix(101)
+        assert len(compiled.prefix(100).steps) == 100
+        assert len(compiled.prefix().steps) == 100
+
+    def test_zero_message_buffer_prefix(self):
+        # Regression: a zero-length buffer (e.g. a distsim timeline reduced
+        # before anyone stepped) still yields a coherent empty prefix, and the
+        # crash metadata stays queryable.
+        compiled = CompiledSchedule(n=3, steps=[], crash_steps={1: 0, 2: 4})
+        empty = compiled.prefix()
+        assert empty.steps == ()
+        assert empty.faulty_hint == frozenset({1})
+        assert compiled.crashed_by(4) == frozenset({1, 2})
+        with pytest.raises(ScheduleError):
+            compiled.prefix(1)
+
 
 class TestKernelIntegration:
     def test_normalize_source_iterates_the_raw_buffer(self):

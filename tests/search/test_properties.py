@@ -109,6 +109,47 @@ class TestCheckpointSnapshots:
         with pytest.raises(ConfigurationError):
             checkpoint_snapshots(prop._build_simulator(), in_model_schedule(100), 0, (FD_OUTPUT,))
 
+    def test_zero_length_schedule_snapshots(self):
+        # Regression: a zero-step compiled buffer still yields the requested
+        # number of (identical, initial-state) snapshots instead of raising.
+        prop = KAntiOmegaConvergenceProperty(n=4, t=2, k=2)
+        compiled = build_generator(IN_MODEL).compile(0)
+        snapshots = checkpoint_snapshots(prop._build_simulator(), compiled, 3, (FD_OUTPUT,))
+        assert len(snapshots) == 3
+        assert snapshots[0] == snapshots[-1]
+
+
+def all_crashed_schedule(horizon=40):
+    """A prefix whose crash metadata marks every process as already faulty."""
+    from repro.core.schedule import CompiledSchedule
+
+    steps = [1 + (i % 4) for i in range(horizon)]
+    return CompiledSchedule(
+        n=4, steps=steps, crash_steps={1: 10, 2: 20, 3: 30, 4: 30},
+        description="all crashed",
+    )
+
+
+class TestEmptyCorrectSet:
+    """An all-crashed prefix is unjudgeable, never a counterexample.
+
+    Regression: ``all(...)`` over an empty correct set is vacuously true, which
+    used to flip the screen verdicts to violated (no candidate can ever
+    stabilize) and made the k-anti-Ω confirm raise ``VerificationError``.
+    """
+
+    @pytest.mark.parametrize(
+        "cls", [KAntiOmegaConvergenceProperty, LeaderSetConvergenceProperty]
+    )
+    def test_screen_and_confirm_not_violated(self, cls):
+        compiled = all_crashed_schedule()
+        prop = cls(n=4, t=2, k=2)
+        screen = prop.screen(compiled, 4)
+        confirm = prop.confirm(compiled)
+        assert not screen.violated
+        assert not confirm.violated
+        assert screen.details["correct"] == []
+
 
 class TestDetectorProperties:
     def test_in_model_schedule_is_not_violated(self):
